@@ -1,0 +1,307 @@
+package itv
+
+// The benchmark harness regenerates every figure/claim of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for recorded results).  Each BenchmarkE* drives one experiment from
+// internal/experiments and reports its headline quantities as custom
+// metrics; the rendered tables appear with -v.
+//
+// The experiments run on a simulated clock, so "seconds" metrics are
+// simulated seconds (a 25-second fail-over costs milliseconds of wall
+// time).  Run with:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+//
+// since each iteration is a complete experiment, not a micro-operation.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"itv/internal/auth"
+	"itv/internal/clock"
+	"itv/internal/experiments"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/transport"
+	"itv/internal/wire"
+)
+
+// metric extracts a numeric cell ("12", "12.5s", "1.2ms") by row label.
+func metric(tab *experiments.Table, rowLabel string, col int) float64 {
+	for _, r := range tab.Rows {
+		if len(r.Cols) > col && r.Cols[0] == rowLabel {
+			s := strings.TrimSuffix(strings.TrimSpace(r.Cols[col]), "s")
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func BenchmarkE1Topology(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E1Topology()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "cluster capacity (3 servers)", 1), "streams")
+}
+
+func BenchmarkE2AppDownload(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E2AppDownload()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "small-app", 3), "small_app_s")
+	b.ReportMetric(metric(tab, "large-app", 3), "large_app_s")
+}
+
+func BenchmarkE3MovieOpen(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E3MovieOpen()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "first (cold caches)", 1), "cold_rpcs")
+	b.ReportMetric(metric(tab, "subsequent (warm)", 1), "warm_rpcs")
+}
+
+func BenchmarkE4Failover(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E4Failover()
+	}
+	b.Log("\n" + tab.Format())
+	// The deployed-settings row: 10s/10s/5s -> 25s predicted max.
+	for _, r := range tab.Rows {
+		if len(r.Cols) >= 6 && r.Cols[0] == "10.0s" {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(r.Cols[5], "s"), 64); err == nil {
+				b.ReportMetric(v, "failover_max_s")
+			}
+		}
+	}
+}
+
+func BenchmarkE5AuditMessages(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E5AuditMessages()
+	}
+	b.Log("\n" + tab.Format())
+	for _, r := range tab.Rows {
+		if r.Cols[0] == "RAS peer polling" && r.Cols[1] == "8" {
+			if v, err := strconv.ParseFloat(r.Cols[3], 64); err == nil {
+				b.ReportMetric(v, "ras_msgs_per_min_8srv")
+			}
+		}
+	}
+}
+
+func BenchmarkE6Scaling(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E6Scaling()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "3", 1), "streams_3srv")
+}
+
+func BenchmarkE7RecoveryStorm(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E7RecoveryStorm()
+	}
+	b.Log("\n" + tab.Format())
+	for _, r := range tab.Rows {
+		if len(r.Cols) >= 3 && r.Cols[0] == "200" && r.Cols[1] == "none" {
+			if v, err := strconv.ParseFloat(r.Cols[2], 64); err == nil {
+				b.ReportMetric(v, "storm_requests_no_backoff")
+			}
+		}
+	}
+}
+
+func BenchmarkE8Selectors(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E8Selectors()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "neighborhood", 2), "nbhd_max_per_replica")
+}
+
+func BenchmarkE9NameService(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E9NameService()
+	}
+	b.Log("\n" + tab.Format())
+}
+
+func BenchmarkE10MDSCrash(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E10MDSCrash()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "playbacks recovered", 1), "recovered")
+}
+
+func BenchmarkE11Leakage(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E11Leakage()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "RAS (deployed intervals)", 1), "ras_reclaim_s")
+}
+
+func BenchmarkE12ResponseTime(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E12ResponseTime()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "cover latency (max)", 1), "cover_max_s")
+	b.ReportMetric(metric(tab, "full app start-up (max)", 1), "startup_max_s")
+}
+
+func BenchmarkE13Restart(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E13Restart()
+	}
+	b.Log("\n" + tab.Format())
+	b.ReportMetric(metric(tab, "max gap (simulated)", 1), "restart_gap_max_s")
+}
+
+func BenchmarkE14NewService(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E14NewService()
+	}
+	b.Log("\n" + tab.Format())
+}
+
+// ---- micro-benchmarks of the substrate hot paths ----
+
+// BenchmarkORBInvoke measures one remote method invocation round trip over
+// the in-memory transport — the "quite fast" resolve/invoke cost the paper
+// leans on in §8.2.
+func BenchmarkORBInvoke(b *testing.B) {
+	nw := transport.NewNetwork()
+	server, err := orb.NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := orb.NewEndpoint(nw.Host("10.1.0.5"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	ref := server.Register("", benchEcho{})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := client.Invoke(ref, "echo",
+			func(e *wire.Encoder) { e.PutString("x") },
+			func(d *wire.Decoder) error { _ = d.String(); return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalInvoke measures the same-process short-circuit dispatch.
+func BenchmarkLocalInvoke(b *testing.B) {
+	nw := transport.NewNetwork()
+	server, err := orb.NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	ref := server.Register("", benchEcho{})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := server.Invoke(ref, "echo",
+			func(e *wire.Encoder) { e.PutString("x") },
+			func(d *wire.Decoder) error { _ = d.String(); return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkORBInvokeSigned measures the same round trip with the §3.3
+// security model: the client signs with a ticket session key, the server
+// verifies ticket and HMAC — the "signed but not encrypted" default.
+func BenchmarkORBInvokeSigned(b *testing.B) {
+	clk := clock.NewFake()
+	nw := transport.NewNetwork()
+	svc := auth.NewService(clk)
+
+	server, err := orb.NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	server.SetAuthenticator(auth.NewVerifier(svc.RealmKey(), clk))
+	ref := server.Register("", benchEcho{})
+
+	key := svc.Enroll("settop/10.1.0.5")
+	client, err := orb.NewEndpoint(nw.Host("10.1.0.5"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	client.SetAuthenticator(auth.NewSigner("settop/10.1.0.5", key, clk,
+		func() ([]byte, []byte, error) { return svc.IssueTicket("settop/10.1.0.5") }))
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := client.Invoke(ref, "echo",
+			func(e *wire.Encoder) { e.PutString("x") },
+			func(d *wire.Decoder) error { _ = d.String(); return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchEcho struct{}
+
+func (benchEcho) TypeID() string { return "bench.Echo" }
+func (benchEcho) Dispatch(c *orb.ServerCall) error {
+	if c.Method() != "echo" {
+		return orb.ErrNoSuchMethod
+	}
+	c.Results().PutString(c.Args().String())
+	return nil
+}
+
+// BenchmarkWireRoundTrip measures IDL marshaling of a typical binding list.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	bindings := make([]names.Binding, 8)
+	for i := range bindings {
+		bindings[i] = names.Binding{
+			Name: "replica",
+			Ref:  oref.Ref{Addr: "192.168.0.1:555", Incarnation: 42, TypeID: names.TypeContext, ObjectID: "c7"},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := wire.NewEncoder(256)
+		names.PutBindings(e, bindings)
+		d := wire.NewDecoder(e.Bytes())
+		if got := names.Bindings(d); len(got) != len(bindings) || d.Err() != nil {
+			b.Fatal("round trip failed")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// itv-admin is the operator tool (§6.2): it inspects the cluster name
+// space, queries name-service and cluster status, and drives the SSC/CSC —
+// listing, starting, stopping, killing and moving services.
+//
+//	itv-admin [-ns host:port] list [path]     # name-space listing (Fig. 8)
+//	itv-admin [-ns host:port] resolve <name>  # resolve a name to a reference
+//	itv-admin [-ns host:port] status          # name-service + CSC view
+//	itv-admin [-ns host:port] running <host>  # services an SSC is running
+//	itv-admin [-ns host:port] kill <host> <svc>
+//	itv-admin [-ns host:port] stop <host> <svc>
+//	itv-admin [-ns host:port] start <host> <svc>
+//	itv-admin [-ns host:port] move <svc> <host,...>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"itv/internal/clock"
+	"itv/internal/cmgr"
+	"itv/internal/core"
+	"itv/internal/csc"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/ssc"
+	"itv/internal/transport"
+)
+
+func main() {
+	nsAddr := flag.String("ns", "127.0.0.1:555", "name-service replica address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ep, err := orb.NewEndpoint(transport.TCP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	sess := core.NewSession(ep, names.RootRefAt(*nsAddr), clock.Real())
+
+	switch args[0] {
+	case "list":
+		path := ""
+		if len(args) > 1 {
+			path = args[1]
+		}
+		listTree(sess, path, 0)
+
+	case "resolve":
+		if len(args) < 2 {
+			log.Fatal("usage: resolve <name>")
+		}
+		ref, err := sess.Root.Resolve(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ref)
+		if err := ep.Ping(ref); err != nil {
+			fmt.Println("liveness: DEAD —", err)
+		} else {
+			fmt.Println("liveness: up")
+		}
+
+	case "status":
+		role, term, master, seq, err := names.StatusOf(ep, *nsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("name service %s: %s, term %d, master %s, seq %d\n",
+			*nsAddr, role, term, master, seq)
+		stub := csc.NewStub(sess)
+		st, err := stub.Status()
+		if err != nil {
+			fmt.Println("csc: unavailable:", err)
+			return
+		}
+		fmt.Println("cluster (per the acting CSC):")
+		for h, up := range st {
+			state := "UP"
+			if !up {
+				state = "DOWN"
+			}
+			fmt.Printf("  %-16s %s\n", h, state)
+		}
+
+	case "running":
+		if len(args) < 2 {
+			log.Fatal("usage: running <host>")
+		}
+		stub := ssc.Stub{Ep: ep, Ref: ssc.RefAt(args[1])}
+		svcs, err := stub.Running()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range svcs {
+			fmt.Println(" ", s)
+		}
+
+	case "kill", "stop", "start":
+		if len(args) < 3 {
+			log.Fatalf("usage: %s <host> <svc>", args[0])
+		}
+		stub := ssc.Stub{Ep: ep, Ref: ssc.RefAt(args[1])}
+		var err error
+		switch args[0] {
+		case "kill":
+			err = stub.Kill(args[2])
+		case "stop":
+			err = stub.Stop(args[2])
+		case "start":
+			err = stub.Start(args[2])
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s on %s: ok\n", args[0], args[2], args[1])
+
+	case "usage":
+		// §7.3 resource accounting from the caller's neighborhood cmgr.
+		ref, err := sess.Root.Resolve("svc/cmgr")
+		if err != nil {
+			// No neighborhood match for an admin host: take any replica.
+			all, lerr := sess.Root.ListRepl("svc/cmgr")
+			if lerr != nil || len(all) == 0 {
+				log.Fatal(err)
+			}
+			ref = all[0].Ref
+		}
+		report, err := (cmgr.Stub{Ep: ep, Ref: ref}).Usage()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %8s %8s %14s\n", "settop", "opened", "denied", "Mbit-seconds")
+		for _, u := range report {
+			fmt.Printf("%-18s %8d %8d %14.1f\n", u.Settop, u.Opened, u.Denied, u.MbitSeconds)
+		}
+
+	case "move":
+		if len(args) < 3 {
+			log.Fatal("usage: move <svc> <host,...>")
+		}
+		stub := csc.NewStub(sess)
+		if err := stub.Move(args[1], strings.Split(args[2], ",")); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("move %s -> %s: recorded; the CSC applies it on its next round\n", args[1], args[2])
+
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+// listTree prints the name space as an indented tree (Fig. 8).
+func listTree(sess *core.Session, path string, depth int) {
+	bindings, err := sess.Root.List(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range bindings {
+		full := b.Name
+		if path != "" {
+			full = path + "/" + b.Name
+		}
+		fmt.Printf("%s%-20s %s\n", strings.Repeat("  ", depth), b.Name, b.Ref.TypeID)
+		if names.IsContextType(b.Ref.TypeID) {
+			// Replicated contexts are expanded through listRepl so every
+			// replica shows, not just the selected one.
+			if b.Ref.TypeID == names.TypeReplContext {
+				all, err := sess.Root.ListRepl(full)
+				if err == nil {
+					for _, r := range all {
+						fmt.Printf("%s%-20s %s\n", strings.Repeat("  ", depth+1), r.Name, r.Ref.TypeID)
+					}
+					continue
+				}
+			}
+			listTree(sess, full, depth+1)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package itv is a from-scratch Go reproduction of "A Highly Available,
+// Scalable ITV System" (Nelson, Linton, Owicki — SOSP 1995): the Object
+// Communication System (OCS) built at SGI for Time Warner's interactive-TV
+// trial in Orlando, together with the ITV services that ran on it.
+//
+// The implementation lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), runnable programs under cmd/ and examples/,
+// and the evaluation suite in internal/experiments with benchmark entry
+// points in bench_test.go.  EXPERIMENTS.md records paper-versus-measured
+// results for every reproduced figure and claim.
+package itv

@@ -1,0 +1,93 @@
+// Video-on-demand walkthrough: the full Orlando movie path of §3.4 with
+// the failure scenarios of §3.5 — a settop boots over the network,
+// downloads the VOD application, plays a movie through MMS/cmgr/MDS, the
+// streaming MDS crashes mid-play and the application recovers on another
+// replica at the saved position, and finally the settop itself crashes and
+// the RAS-driven reclamation frees its bandwidth.
+//
+//	go run ./examples/vod
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"itv/internal/cluster"
+	"itv/internal/orb"
+)
+
+func main() {
+	c := cluster.New(cluster.Orlando())
+	fmt.Println("booting the Orlando cluster (3 servers, 6 neighborhoods)...")
+	c.Start()
+	defer c.Stop()
+	fmt.Println("cluster up: name-service master elected, services placed")
+
+	// A subscriber in neighborhood 3 turns the TV on (§3.4.1).
+	st := c.NewSettop("3", 0)
+	var bootTime time.Duration
+	c.MustWaitFor("settop boot", func() bool {
+		d, err := st.Boot()
+		bootTime = d
+		return err == nil
+	})
+	fmt.Printf("settop %s booted (kernel transfer: %v simulated)\n", st.Host(), bootTime)
+
+	// Channel change to the VOD venue (§3.4.2-3.4.3): cover appears fast,
+	// the application downloads behind it.
+	cover, full, err := st.ChangeChannel("vod")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channel change: cover in %v, vod app running in %v (simulated)\n", cover, full)
+
+	// Play a movie (Fig. 4).
+	if err := st.OpenMovie("T2"); err != nil {
+		log.Fatal(err)
+	}
+	pb, _ := st.Playback()
+	fmt.Printf("playing %q from MDS at %s\n", pb.Title, pb.Movie.Ref.Addr)
+
+	// Watch it for ten simulated minutes.
+	if c.FakeClk != nil {
+		c.FakeClk.Advance(10 * time.Minute)
+	}
+	pos, playing, err := st.PollPlayback()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("10 minutes in: position %.1f MB, delivering=%v\n", float64(pos)/1e6, playing)
+
+	// Disaster: the streaming server's MDS dies (§3.5.2).
+	var victim *cluster.Server
+	for _, s := range c.Servers {
+		if m := s.MDS(); m != nil && m.Ref().Addr == pb.Movie.Ref.Addr {
+			victim = s
+		}
+	}
+	fmt.Printf("killing the MDS on %s mid-play...\n", victim.Spec.Name)
+	if err := victim.SSC.KillService("mds"); err != nil {
+		log.Fatal(err)
+	}
+	c.MustWaitFor("viewer notices", func() bool {
+		_, _, err := st.PollPlayback()
+		return orb.Dead(err)
+	})
+	fmt.Println("delivery stopped; the application closes and reopens the movie")
+	c.MustWaitFor("recovery", func() bool { return st.RecoverPlayback() == nil })
+	pb2, _ := st.Playback()
+	pos2, _, _ := st.PollPlayback()
+	fmt.Printf("resumed on MDS at %s, position %.1f MB (>= %.1f MB before the crash)\n",
+		pb2.Movie.Ref.Addr, float64(pos2)/1e6, float64(pos)/1e6)
+
+	// Finally the settop crashes without closing the movie (§3.5.1): the
+	// MMS, polling the RAS, reclaims the disk and network resources.
+	fmt.Println("settop loses power without closing the movie...")
+	st.Crash()
+	start := c.Clk.Now()
+	c.MustWaitFor("reclamation", func() bool { return c.Fabric.Conns() == 0 })
+	fmt.Printf("MMS reclaimed the stream via the RAS in %v (simulated)\n",
+		c.Clk.Now().Sub(start).Truncate(time.Second))
+	fmt.Println("done")
+}

@@ -1,0 +1,3 @@
+module itv
+
+go 1.22

@@ -1,0 +1,202 @@
+package atm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newNet() *Network {
+	n := New()
+	n.AddServer("forge", 20*Mbps)
+	n.AddSettop("10.1.0.5")
+	return n
+}
+
+func TestCBRAllocateRelease(t *testing.T) {
+	n := newNet()
+	c, err := n.Allocate("forge", "10.1.0.5", 4*Mbps, CBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate != 4*Mbps || c.Kind != CBR {
+		t.Fatalf("conn = %+v", c)
+	}
+	if r, _, _ := n.SettopLoad("10.1.0.5"); r != 4*Mbps {
+		t.Fatalf("settop reserved = %d", r)
+	}
+	if r, _, _ := n.ServerLoad("forge"); r != 4*Mbps {
+		t.Fatalf("server reserved = %d", r)
+	}
+	if err := n.Release(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if r, _, _ := n.SettopLoad("10.1.0.5"); r != 0 {
+		t.Fatalf("reserved after release = %d", r)
+	}
+	if err := n.Release(c.ID); !errors.Is(err, ErrUnknownConn) {
+		t.Fatalf("double release err = %v", err)
+	}
+}
+
+func TestCBRAdmissionControl(t *testing.T) {
+	n := newNet()
+	// The settop downstream is 6 Mb/s: a second 4 Mb/s stream must be
+	// refused even though the server has headroom.
+	if _, err := n.Allocate("forge", "10.1.0.5", 4*Mbps, CBR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Allocate("forge", "10.1.0.5", 4*Mbps, CBR); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("oversubscription err = %v", err)
+	}
+	// 2 Mb/s still fits.
+	if _, err := n.Allocate("forge", "10.1.0.5", 2*Mbps, CBR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerEgressLimits(t *testing.T) {
+	n := New()
+	n.AddServer("forge", 10*Mbps)
+	for i := 0; i < 3; i++ {
+		n.AddSettop(settopHost(i))
+	}
+	// Two 4 Mb/s streams fit in 10 Mb/s; the third must be refused by the
+	// server trunk even though each settop has room.
+	for i := 0; i < 2; i++ {
+		if _, err := n.Allocate("forge", settopHost(i), 4*Mbps, CBR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Allocate("forge", settopHost(2), 4*Mbps, CBR); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("trunk oversubscription err = %v", err)
+	}
+}
+
+func settopHost(i int) string { return fmt.Sprintf("10.1.0.%d", i+1) }
+
+func TestVBRGetsLeftover(t *testing.T) {
+	n := newNet()
+	if _, err := n.Allocate("forge", "10.1.0.5", 4*Mbps, CBR); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Allocate("forge", "10.1.0.5", 8*Mbps, VBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate != 2*Mbps { // 6 - 4 left on the settop link
+		t.Fatalf("VBR granted %d, want 2 Mb/s leftover", c.Rate)
+	}
+	// Saturated link refuses VBR entirely.
+	if _, err := n.Allocate("forge", "10.1.0.5", 1, VBR); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("saturated VBR err = %v", err)
+	}
+}
+
+func TestUnknownEndpoints(t *testing.T) {
+	n := newNet()
+	if _, err := n.Allocate("ghost", "10.1.0.5", 1*Mbps, CBR); !errors.Is(err, ErrNoSuchLink) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Allocate("forge", "10.9.9.9", 1*Mbps, CBR); !errors.Is(err, ErrNoSuchLink) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Allocate("forge", "10.1.0.5", 0, CBR); !errors.Is(err, ErrInvalidRate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupAndConns(t *testing.T) {
+	n := newNet()
+	c, _ := n.Allocate("forge", "10.1.0.5", 1*Mbps, CBR)
+	got, ok := n.Lookup(c.ID)
+	if !ok || got.To != "10.1.0.5" {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if n.Conns() != 1 {
+		t.Fatalf("Conns = %d", n.Conns())
+	}
+	n.Release(c.ID)
+	if _, ok := n.Lookup(c.ID); ok {
+		t.Fatal("released conn still present")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// §9.3: 2–4 MB at 1 MB/s is 2–4 seconds.
+	mb := int64(1 << 20)
+	rate := int64(8 * mb) // 1 MByte/s in bits/s
+	if d := TransferTime(2*mb, rate); d != 2*time.Second {
+		t.Fatalf("2MB at 1MB/s = %v", d)
+	}
+	if d := TransferTime(4*mb, rate); d != 4*time.Second {
+		t.Fatalf("4MB at 1MB/s = %v", d)
+	}
+	if d := TransferTime(100, 0); d != 0 {
+		t.Fatalf("zero rate = %v", d)
+	}
+}
+
+// TestInvariantUnderRandomWorkload drives random allocate/release traffic
+// and checks the no-oversubscription invariant throughout.
+func TestInvariantUnderRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New()
+		servers := []string{"forge", "kiln"}
+		for _, s := range servers {
+			n.AddServer(s, 50*Mbps)
+		}
+		var settops []string
+		for i := 0; i < 10; i++ {
+			h := settopHost(i)
+			n.AddSettop(h)
+			settops = append(settops, h)
+		}
+		var live []string
+		for op := 0; op < 300; op++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				kind := CBR
+				if rng.Intn(2) == 0 {
+					kind = VBR
+				}
+				c, err := n.Allocate(
+					servers[rng.Intn(len(servers))],
+					settops[rng.Intn(len(settops))],
+					int64(rng.Intn(8)+1)*Mbps/2,
+					kind)
+				if err == nil {
+					live = append(live, c.ID)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				if err := n.Release(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if err := n.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// Releasing everything returns all links to zero.
+		for _, id := range live {
+			if err := n.Release(id); err != nil {
+				return false
+			}
+		}
+		for _, s := range servers {
+			if r, _, _ := n.ServerLoad(s); r != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,449 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"itv/internal/clock"
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/proc"
+	"itv/internal/settopmgr"
+	"itv/internal/ssc"
+	"itv/internal/transport"
+)
+
+// server is one simulated machine: SSC + RAS + Settop Manager.
+type server struct {
+	host string
+	ctl  *ssc.Controller
+	ras  *Service
+	mgr  *settopmgr.Manager
+}
+
+type fixture struct {
+	t       *testing.T
+	clk     *clock.Fake
+	nw      *transport.Network
+	servers []*server
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	f := &fixture{t: t, clk: clock.NewFake(), nw: transport.NewNetwork()}
+	for i := 0; i < n; i++ {
+		host := serverIP(i)
+		ctl, err := ssc.New(f.nw.Host(host), f.clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := settopmgr.New(f.nw.Host(host), f.clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ras, err := New(f.nw.Host(host), f.clk, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &server{host: host, ctl: ctl, ras: ras, mgr: mgr}
+		f.servers = append(f.servers, s)
+		t.Cleanup(func() { ras.Close(); mgr.Close(); ctl.Close() })
+	}
+	return f
+}
+
+func serverIP(i int) string { return "192.168.0." + string(rune('1'+i)) }
+
+// advanceUntil steps the fake clock until cond holds, yielding real time
+// between steps so background loops can observe their tickers.
+func advanceUntil(t *testing.T, clk *clock.Fake, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+func (f *fixture) waitFor(what string, cond func() bool) {
+	f.t.Helper()
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("condition never held: %s", what)
+}
+
+// startEcho starts a trivial service on server s under its SSC and returns
+// its object ref.
+func (f *fixture) startEcho(s *server, name string) oref.Ref {
+	f.t.Helper()
+	var mu sync.Mutex
+	var ref oref.Ref
+	s.ctl.AddSpec(ssc.ServiceSpec{
+		Name: name,
+		Start: func(p *proc.Process, ctl *ssc.Controller) error {
+			ep, err := orb.NewEndpoint(f.nw.Host(s.host))
+			if err != nil {
+				return err
+			}
+			p.OnKill(ep.Close)
+			r := ep.Register("", pingOnly{})
+			mu.Lock()
+			ref = r
+			mu.Unlock()
+			ctl.NotifyReady(p.PID(), []oref.Ref{r})
+			return nil
+		},
+	})
+	if err := s.ctl.StartService(name); err != nil {
+		f.t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return ref
+}
+
+type pingOnly struct{}
+
+func (pingOnly) TypeID() string                 { return "test.PingOnly" }
+func (pingOnly) Dispatch(*orb.ServerCall) error { return orb.ErrNoSuchMethod }
+
+func check1(t *testing.T, s *Service, ref oref.Ref) bool {
+	t.Helper()
+	out := s.CheckStatus([]oref.Ref{ref})
+	if len(out) != 1 {
+		t.Fatalf("CheckStatus returned %d results", len(out))
+	}
+	return out[0]
+}
+
+func TestLocalObjectLifecycle(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+
+	if !check1(t, s.ras, ref) {
+		t.Fatal("live local object reported dead")
+	}
+	// Stop the service: the SSC callback fires and the RAS learns at once,
+	// without any network polling (§7.2 mechanism 2).
+	if err := s.ctl.StopService("echo"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("local death visible", func() bool { return !check1(t, s.ras, ref) })
+}
+
+func TestUnknownLocalObjectBeforeSync(t *testing.T) {
+	// A RAS on a host with no SSC answers "alive" — it has no information
+	// and gives the benefit of the doubt.
+	clk := clock.NewFake()
+	nw := transport.NewNetwork()
+	ras, err := New(nw.Host("192.168.0.9"), clk, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ras.Close()
+	ref := oref.Ref{Addr: "192.168.0.9:800", Incarnation: 1, TypeID: "x"}
+	if got := ras.CheckStatus([]oref.Ref{ref}); !got[0] {
+		t.Fatal("unsynced RAS reported dead")
+	}
+}
+
+func TestRemoteObjectTracking(t *testing.T) {
+	f := newFixture(t, 2)
+	s1, s2 := f.servers[0], f.servers[1]
+	ref := f.startEcho(s2, "echo")
+
+	// First question: unknown -> alive; monitoring begins.
+	if !check1(t, s1.ras, ref) {
+		t.Fatal("fresh remote object reported dead")
+	}
+	f.clk.Advance(6 * time.Second) // one peer poll
+	time.Sleep(2 * time.Millisecond)
+	if !check1(t, s1.ras, ref) {
+		t.Fatal("live remote object reported dead after poll")
+	}
+
+	// Kill the service on server 2: server 1's RAS learns within a peer
+	// polling interval.
+	if err := s2.ctl.StopService("echo"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("remote death visible within poll interval", func() bool {
+		return !check1(t, s1.ras, ref)
+	})
+}
+
+func TestServerDeathMarksObjectsDead(t *testing.T) {
+	f := newFixture(t, 2)
+	s1, s2 := f.servers[0], f.servers[1]
+	ref := f.startEcho(s2, "echo")
+	if !check1(t, s1.ras, ref) {
+		t.Fatal("fresh remote object reported dead")
+	}
+	f.nw.Cut(s2.host)
+	f.waitFor("objects on dead server reported dead", func() bool {
+		return !check1(t, s1.ras, ref)
+	})
+}
+
+func TestSettopTracking(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	s.mgr.Heartbeat("10.3.0.17")
+	ref := SettopRef("10.3.0.17")
+
+	if !check1(t, s.ras, ref) {
+		t.Fatal("live settop reported dead")
+	}
+	// Keep heartbeating: stays up across polls.
+	for i := 0; i < 3; i++ {
+		f.clk.Advance(5 * time.Second)
+		time.Sleep(2 * time.Millisecond)
+		s.mgr.Heartbeat("10.3.0.17")
+	}
+	if !check1(t, s.ras, ref) {
+		t.Fatal("heartbeating settop reported dead")
+	}
+	// Crash the settop (heartbeats stop): dead within manager timeout +
+	// one RAS poll of the Settop Manager.
+	f.waitFor("crashed settop reported dead", func() bool {
+		return !check1(t, s.ras, ref)
+	})
+}
+
+func TestRASRestartRecoversFromSSC(t *testing.T) {
+	// §7.2: "the RAS does not have to remember any state across failures".
+	// After a restart it learns local objects from the SSC's registration
+	// replay and remote/settop entities from fresh questions.
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+	if !check1(t, s.ras, ref) {
+		t.Fatal("precondition failed")
+	}
+
+	s.ras.Close()
+	ras2, err := New(f.nw.Host(s.host), f.clk, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ras2.Close)
+	// The fresh RAS re-registers with the SSC and receives the full live
+	// set; the still-running echo service must be reported alive.
+	f.waitFor("restarted RAS sees live object", func() bool {
+		return check1(t, ras2, ref)
+	})
+	if err := s.ctl.StopService("echo"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("restarted RAS sees death", func() bool {
+		return !check1(t, ras2, ref)
+	})
+}
+
+func TestCheckStatusRemoteStub(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+	client, err := orb.NewEndpoint(f.nw.Host("192.168.0.8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	alive, err := (Stub{Ep: client, Ref: RefAt(s.host)}).CheckStatus([]oref.Ref{ref})
+	if err != nil || len(alive) != 1 || !alive[0] {
+		t.Fatalf("remote checkStatus = %v, %v", alive, err)
+	}
+}
+
+func TestCheckerAdapter(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+	client, err := orb.NewEndpoint(f.nw.Host("192.168.0.8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	chk := Checker{Ep: client, Ref: RefAt(s.host)}
+	m, err := chk.CheckStatus([]oref.Ref{ref})
+	if err != nil || !m[ref.Key()] {
+		t.Fatalf("checker = %v, %v", m, err)
+	}
+}
+
+func TestWatcherFiresOnDeath(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+
+	client, err := orb.NewEndpoint(f.nw.Host(s.host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var mu sync.Mutex
+	fired := 0
+	w := NewWatcher(Stub{Ep: client, Ref: RefAt(s.host)}, f.clk, 5*time.Second)
+	defer w.Close()
+	w.Watch(ref, func(oref.Ref) {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+
+	if err := s.ctl.StopService("echo"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("watcher callback fired", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return fired == 1
+	})
+	// Exactly once.
+	f.clk.Advance(30 * time.Second)
+	time.Sleep(2 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("callback fired %d times", fired)
+	}
+	if w.Watching() != 0 {
+		t.Fatal("dead watch not removed")
+	}
+}
+
+func TestWatcherCancel(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+	client, err := orb.NewEndpoint(f.nw.Host(s.host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	fired := false
+	w := NewWatcher(Stub{Ep: client, Ref: RefAt(s.host)}, f.clk, 5*time.Second)
+	defer w.Close()
+	w.Watch(ref, func(oref.Ref) { fired = true })
+	w.Cancel(ref)
+	if err := s.ctl.StopService("echo"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(30 * time.Second)
+	time.Sleep(2 * time.Millisecond)
+	if fired {
+		t.Fatal("cancelled watch fired")
+	}
+}
+
+func TestDurationTable(t *testing.T) {
+	clk := clock.NewFake()
+	var mu sync.Mutex
+	var expired []string
+	dt := NewDurationTable(clk, time.Second, func(id string) {
+		mu.Lock()
+		expired = append(expired, id)
+		mu.Unlock()
+	})
+	defer dt.Close()
+	dt.Grant("movie-1", 10*time.Second)
+	dt.Grant("movie-2", 10*time.Second)
+	dt.Release("movie-2")
+	advanceUntil(t, clk, func() bool { return dt.Expired() == 1 })
+	mu.Lock()
+	defer mu.Unlock()
+	if len(expired) != 1 || expired[0] != "movie-1" {
+		t.Fatalf("expired = %v", expired)
+	}
+	if dt.Outstanding() != 0 || dt.Expired() != 1 {
+		t.Fatalf("outstanding=%d expired=%d", dt.Outstanding(), dt.Expired())
+	}
+}
+
+func TestLeaseTable(t *testing.T) {
+	clk := clock.NewFake()
+	var mu sync.Mutex
+	var expired []string
+	lt := NewLeaseTable(clk, 4*time.Second, func(id string) {
+		mu.Lock()
+		expired = append(expired, id)
+		mu.Unlock()
+	})
+	defer lt.Close()
+	lt.Grant("conn-1")
+	// Renew on time: survives.
+	for i := 0; i < 4; i++ {
+		clk.Advance(2 * time.Second)
+		time.Sleep(time.Millisecond)
+		if !lt.Renew("conn-1") {
+			t.Fatal("timely renewal rejected")
+		}
+	}
+	mu.Lock()
+	if len(expired) != 0 {
+		t.Fatalf("renewed lease expired: %v", expired)
+	}
+	mu.Unlock()
+	if lt.Renewals() != 4 {
+		t.Fatalf("renewals = %d", lt.Renewals())
+	}
+	// Stop renewing (client crashed): reclaimed.
+	clk.Advance(10 * time.Second)
+	time.Sleep(2 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(expired) != 1 || expired[0] != "conn-1" {
+		t.Fatalf("expired = %v", expired)
+	}
+	if lt.Renew("conn-1") {
+		t.Fatal("expired lease renewed")
+	}
+}
+
+func TestPinger(t *testing.T) {
+	f := newFixture(t, 1)
+	s := f.servers[0]
+	ref := f.startEcho(s, "echo")
+	client, err := orb.NewEndpoint(f.nw.Host(s.host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var mu sync.Mutex
+	var dead []oref.Ref
+	p := NewPinger(client, f.clk, 5*time.Second, func(r oref.Ref) {
+		mu.Lock()
+		dead = append(dead, r)
+		mu.Unlock()
+	})
+	defer p.Close()
+	p.Track(ref)
+	advanceUntil(t, f.clk, func() bool { return p.Pings() > 0 })
+	mu.Lock()
+	if len(dead) != 0 {
+		t.Fatalf("live object declared dead: %v", dead)
+	}
+	mu.Unlock()
+	if p.Pings() == 0 {
+		t.Fatal("no pings sent")
+	}
+	if err := s.ctl.StopService("echo"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("pinger detects death", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(dead) == 1
+	})
+}

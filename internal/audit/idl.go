@@ -1,0 +1,108 @@
+package audit
+
+import (
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+type skel struct{ s *Service }
+
+func (k *skel) TypeID() string { return TypeID }
+
+func (k *skel) Dispatch(c *orb.ServerCall) error {
+	switch c.Method() {
+	case "checkStatus":
+		refs := oref.Refs(c.Args())
+		alive := k.s.CheckStatus(refs)
+		putBools(c.Results(), alive)
+		return nil
+	case "localStatus":
+		// Peer-to-peer: evaluate only against this server's SSC live set.
+		refs := oref.Refs(c.Args())
+		out := make([]bool, len(refs))
+		k.s.mu.Lock()
+		for i, r := range refs {
+			out[i] = k.s.localAliveLocked(r)
+		}
+		k.s.mu.Unlock()
+		putBools(c.Results(), out)
+		return nil
+	default:
+		return orb.ErrNoSuchMethod
+	}
+}
+
+func putBools(e *wire.Encoder, bs []bool) {
+	e.PutUint(uint64(len(bs)))
+	for _, b := range bs {
+		e.PutBool(b)
+	}
+}
+
+func getBools(d *wire.Decoder) []bool {
+	n := d.Count()
+	out := make([]bool, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, d.Bool())
+	}
+	return out
+}
+
+// Invoker is the slice of orb.Endpoint the stubs need.
+type Invoker interface {
+	Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
+}
+
+// Stub is the client proxy for a RAS instance.
+type Stub struct {
+	Ep  Invoker
+	Ref oref.Ref
+}
+
+// CheckStatus asks the RAS for the liveness of each reference.
+func (s Stub) CheckStatus(refs []oref.Ref) ([]bool, error) {
+	var out []bool
+	err := s.Ep.Invoke(s.Ref, "checkStatus",
+		func(e *wire.Encoder) { oref.PutRefs(e, refs) },
+		func(d *wire.Decoder) error { out = getBools(d); return nil })
+	return out, err
+}
+
+// LocalStatus evaluates refs against the remote server's local live set
+// (the peer-polling operation).
+func (s Stub) LocalStatus(refs []oref.Ref) ([]bool, error) {
+	var out []bool
+	err := s.Ep.Invoke(s.Ref, "localStatus",
+		func(e *wire.Encoder) { oref.PutRefs(e, refs) },
+		func(d *wire.Decoder) error { out = getBools(d); return nil })
+	return out, err
+}
+
+// Checker adapts a RAS stub to the name service's StatusChecker interface —
+// the wiring behind §4.7/§8.3 (the name service is one of the RAS's two
+// clients, along with the MMS).
+type Checker struct {
+	Ep  Invoker
+	Ref oref.Ref
+}
+
+// CheckStatus implements names.StatusChecker.
+func (c Checker) CheckStatus(refs []oref.Ref) (map[string]bool, error) {
+	alive, err := (Stub{Ep: c.Ep, Ref: c.Ref}).CheckStatus(refs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(refs))
+	for i, r := range refs {
+		if i < len(alive) {
+			out[r.Key()] = alive[i]
+		}
+	}
+	return out, nil
+}
+
+// SettopRef builds the conventional entity reference for a settop.
+func SettopRef(host string) oref.Ref {
+	return oref.Ref{Addr: host + ":0", TypeID: TypeSettop}
+}

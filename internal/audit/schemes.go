@@ -1,0 +1,306 @@
+package audit
+
+import (
+	"sync"
+	"time"
+
+	"itv/internal/clock"
+	"itv/internal/oref"
+)
+
+// This file implements the three resource-recovery alternatives the paper
+// considered and rejected (§7.1), so the evaluation suite can reproduce
+// the comparison that motivated the RAS:
+//
+//  1. DurationTable — time-outs based on expected duration of usage.  The
+//     MDS initially shipped this way; it proved "too conservative,
+//     especially in a development environment" where clients crashed
+//     holding movies and leakage made the system unusable.
+//  2. LeaseTable — aggressive short-term grants the client must renew.
+//     Rejected for scaling: thousands of clients × several resources each
+//     costs continuous network bandwidth and server CPU.
+//  3. Pinger — each service tracks its own clients by pinging their
+//     objects.  This was the original liveness mechanism inside the RAS
+//     too; it was replaced by SSC callbacks because single-threaded
+//     services could not answer pings in time (§7.2).
+
+// DurationTable grants resources for an estimated duration and reclaims
+// them when it elapses, regardless of whether the client still lives.
+type DurationTable struct {
+	clk      clock.Clock
+	onExpire func(id string)
+
+	mu     sync.Mutex
+	grants map[string]time.Time // id -> deadline
+	leaked int64                // reclaimed by timeout (not by release)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewDurationTable starts a duration-timeout table; onExpire fires for
+// every grant reclaimed by timeout.
+func NewDurationTable(clk clock.Clock, checkEvery time.Duration, onExpire func(id string)) *DurationTable {
+	t := &DurationTable{
+		clk:      clk,
+		onExpire: onExpire,
+		grants:   make(map[string]time.Time),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go t.run(checkEvery)
+	return t
+}
+
+// Grant records a resource expected to be used for d.
+func (t *DurationTable) Grant(id string, d time.Duration) {
+	t.mu.Lock()
+	t.grants[id] = t.clk.Now().Add(d)
+	t.mu.Unlock()
+}
+
+// Release frees a resource explicitly.
+func (t *DurationTable) Release(id string) {
+	t.mu.Lock()
+	delete(t.grants, id)
+	t.mu.Unlock()
+}
+
+// Outstanding reports grants not yet released or expired.
+func (t *DurationTable) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.grants)
+}
+
+// Expired reports how many grants were reclaimed by timeout.
+func (t *DurationTable) Expired() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.leaked
+}
+
+// Close stops the table.
+func (t *DurationTable) Close() { close(t.stop); <-t.done }
+
+func (t *DurationTable) run(every time.Duration) {
+	defer close(t.done)
+	tick := t.clk.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C():
+			now := t.clk.Now()
+			var expired []string
+			t.mu.Lock()
+			for id, dl := range t.grants {
+				if now.After(dl) {
+					expired = append(expired, id)
+					delete(t.grants, id)
+					t.leaked++
+				}
+			}
+			t.mu.Unlock()
+			for _, id := range expired {
+				t.onExpire(id)
+			}
+		}
+	}
+}
+
+// LeaseTable grants short leases that the client must renew; a missed
+// renewal reclaims the resource.
+type LeaseTable struct {
+	clk clock.Clock
+	ttl time.Duration
+
+	mu       sync.Mutex
+	leases   map[string]time.Time
+	renewals int64
+	expiries int64
+	onExpire func(id string)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewLeaseTable starts a lease table with the given time-to-live.
+func NewLeaseTable(clk clock.Clock, ttl time.Duration, onExpire func(id string)) *LeaseTable {
+	t := &LeaseTable{
+		clk:      clk,
+		ttl:      ttl,
+		leases:   make(map[string]time.Time),
+		onExpire: onExpire,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go t.run()
+	return t
+}
+
+// Grant opens a lease.
+func (t *LeaseTable) Grant(id string) {
+	t.mu.Lock()
+	t.leases[id] = t.clk.Now().Add(t.ttl)
+	t.mu.Unlock()
+}
+
+// Renew extends a lease; it reports false if the lease already expired —
+// the client must re-acquire the resource.
+func (t *LeaseTable) Renew(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.leases[id]; !ok {
+		return false
+	}
+	t.leases[id] = t.clk.Now().Add(t.ttl)
+	t.renewals++
+	return true
+}
+
+// Release frees a lease explicitly.
+func (t *LeaseTable) Release(id string) {
+	t.mu.Lock()
+	delete(t.leases, id)
+	t.mu.Unlock()
+}
+
+// Outstanding reports live leases.
+func (t *LeaseTable) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.leases)
+}
+
+// Renewals reports total renewal messages processed — the cost that made
+// the paper reject this scheme at scale (§7.1).
+func (t *LeaseTable) Renewals() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.renewals
+}
+
+// Expiries reports leases reclaimed by missed renewal.
+func (t *LeaseTable) Expiries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expiries
+}
+
+// Close stops the table.
+func (t *LeaseTable) Close() { close(t.stop); <-t.done }
+
+func (t *LeaseTable) run() {
+	defer close(t.done)
+	tick := t.clk.NewTicker(t.ttl / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C():
+			now := t.clk.Now()
+			var expired []string
+			t.mu.Lock()
+			for id, dl := range t.leases {
+				if now.After(dl) {
+					expired = append(expired, id)
+					delete(t.leases, id)
+					t.expiries++
+				}
+			}
+			t.mu.Unlock()
+			for _, id := range expired {
+				t.onExpire(id)
+			}
+		}
+	}
+}
+
+// Pinger tracks client objects by pinging them directly — per-service
+// client tracking (§7.1's third alternative).
+type Pinger struct {
+	ep       PingInvoker
+	clk      clock.Clock
+	interval time.Duration
+	onDead   func(oref.Ref)
+
+	mu      sync.Mutex
+	targets map[string]oref.Ref
+	pings   int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// PingInvoker is the slice of orb.Endpoint the pinger needs.
+type PingInvoker interface {
+	Ping(ref oref.Ref) error
+}
+
+// NewPinger starts a pinger.
+func NewPinger(ep PingInvoker, clk clock.Clock, interval time.Duration, onDead func(oref.Ref)) *Pinger {
+	p := &Pinger{
+		ep:       ep,
+		clk:      clk,
+		interval: interval,
+		onDead:   onDead,
+		targets:  make(map[string]oref.Ref),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// Track adds a client object to ping.
+func (p *Pinger) Track(ref oref.Ref) {
+	p.mu.Lock()
+	p.targets[ref.Key()] = ref
+	p.mu.Unlock()
+}
+
+// Forget stops pinging ref.
+func (p *Pinger) Forget(ref oref.Ref) {
+	p.mu.Lock()
+	delete(p.targets, ref.Key())
+	p.mu.Unlock()
+}
+
+// Pings reports total ping messages sent.
+func (p *Pinger) Pings() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pings
+}
+
+// Close stops the pinger.
+func (p *Pinger) Close() { close(p.stop); <-p.done }
+
+func (p *Pinger) run() {
+	defer close(p.done)
+	tick := p.clk.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C():
+			p.mu.Lock()
+			refs := make([]oref.Ref, 0, len(p.targets))
+			for _, r := range p.targets {
+				refs = append(refs, r)
+			}
+			p.pings += int64(len(refs))
+			p.mu.Unlock()
+			for _, r := range refs {
+				if err := p.ep.Ping(r); err != nil {
+					p.Forget(r)
+					p.onDead(r)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package auth
+
+import (
+	"time"
+
+	"itv/internal/clock"
+)
+
+// Signer implements orb.Authenticator for a client principal: it signs
+// every outgoing call with the session key from a cached ticket, refreshing
+// the ticket through the supplied fetch function when it nears expiry.
+//
+// The fetch function is the ticket-granting exchange; the cluster wires it
+// to an unauthenticated invocation of the auth service's issueTicket
+// operation (the exchange needs no authentication — see IssueTicket).
+type Signer struct {
+	principal string
+	key       []byte
+	clk       clock.Clock
+	fetch     func() (sealedTicket, sealedSessionKey []byte, err error)
+
+	mu         chan struct{} // 1-token semaphore; avoids lock-ordering issues with fetch
+	ticket     []byte
+	sessionKey []byte
+	expires    time.Time
+}
+
+// NewSigner builds a signer for principal holding its secret key.
+func NewSigner(principal string, key []byte, clk clock.Clock,
+	fetch func() (sealedTicket, sealedSessionKey []byte, err error)) *Signer {
+	s := &Signer{principal: principal, key: key, clk: clk, fetch: fetch,
+		mu: make(chan struct{}, 1)}
+	s.mu <- struct{}{}
+	return s
+}
+
+// Sign implements orb.Authenticator.
+func (s *Signer) Sign(payload []byte) (string, []byte, []byte, error) {
+	<-s.mu
+	defer func() { s.mu <- struct{}{} }()
+	// Refresh with a minute of slack so a ticket never expires mid-flight.
+	if s.ticket == nil || !s.clk.Now().Add(time.Minute).Before(s.expires) {
+		sealedTicket, sealedSK, err := s.fetch()
+		if err != nil {
+			return "", nil, nil, err
+		}
+		sk, err := Open(s.key, sealedSK)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		s.ticket = sealedTicket
+		s.sessionKey = sk
+		// The client cannot read the sealed ticket's expiry; track a local
+		// conservative estimate (the service's TTL is at least this).
+		s.expires = s.clk.Now().Add(30 * time.Minute)
+	}
+	return s.principal, s.ticket, sign(s.sessionKey, payload), nil
+}
+
+// Verify on a Signer rejects everything: client endpoints do not serve
+// authenticated objects.  Servers use a Verifier.
+func (s *Signer) Verify(string, []byte, []byte, []byte) (string, error) {
+	return "", ErrBadTicket
+}
+
+// Verifier implements orb.Authenticator for servers: it unseals tickets
+// with the realm key and checks each call's HMAC under the ticket's
+// session key.
+type Verifier struct {
+	realmKey []byte
+	clk      clock.Clock
+	// AllowAnonymous admits unsigned calls as principal "" when true; the
+	// auth service endpoint itself runs this way so the ticket-granting
+	// exchange can bootstrap.
+	AllowAnonymous bool
+	// Name is the principal this server asserts on its own outgoing
+	// realm-signed calls (informational; the realm signature authenticates).
+	Name string
+}
+
+// NewVerifier builds a server-side verifier from the realm key.
+func NewVerifier(realmKey []byte, clk clock.Clock) *Verifier {
+	return &Verifier{realmKey: realmKey, clk: clk}
+}
+
+// Verify implements orb.Authenticator.
+func (v *Verifier) Verify(principal string, ticket, sig, payload []byte) (string, error) {
+	if len(ticket) == 0 && len(sig) == 0 {
+		if v.AllowAnonymous {
+			return "", nil
+		}
+		return "", ErrBadTicket
+	}
+	if len(ticket) == 0 {
+		// Realm-signed server-to-server call: signed directly under the
+		// realm key, no ticket needed inside the trusted server set.
+		if !hmacEqual(sign(v.realmKey, payload), sig) {
+			return "", ErrBadSignature
+		}
+		return principal, nil
+	}
+	pt, err := Open(v.realmKey, ticket)
+	if err != nil {
+		return "", err
+	}
+	var t Ticket
+	if err := unmarshalTicket(pt, &t); err != nil {
+		return "", err
+	}
+	if t.Principal != principal {
+		return "", ErrBadTicket
+	}
+	if v.clk.Now().Unix() > t.Expires {
+		return "", ErrExpiredTicket
+	}
+	want := sign(t.SessionKey, payload)
+	if !hmacEqual(want, sig) {
+		return "", ErrBadSignature
+	}
+	return t.Principal, nil
+}
+
+// Sign on a Verifier produces a realm-signed call: server-to-server calls
+// are signed directly under the realm key, so every call in the system is
+// signed by default (§3.3) without per-pair tickets inside the server set.
+func (v *Verifier) Sign(payload []byte) (string, []byte, []byte, error) {
+	name := v.Name
+	if name == "" {
+		name = "server"
+	}
+	return name, nil, sign(v.realmKey, payload), nil
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"itv/internal/orb"
+)
+
+func TestLeakAfterMDSKillThenClose(t *testing.T) {
+	c := startCluster(t, twoServers())
+	st := bootSettop(t, c, "1", 0)
+	if err := st.OpenMovie("T2"); err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := st.Playback()
+	var victim *Server
+	for _, s := range c.Servers {
+		if m := s.MDS(); m != nil && m.Ref().Addr == pb.Movie.Ref.Addr {
+			victim = s
+		}
+	}
+	if err := victim.SSC.KillService("mds"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the SSC restart the MDS.
+	waitFor(t, c, "mds restarted", func() bool {
+		m := victim.MDS()
+		return m != nil && m.Ref().Addr != pb.Movie.Ref.Addr
+	})
+	c.FakeClk.Advance(30 * time.Second)
+	time.Sleep(3 * time.Millisecond)
+	// Without recovering, just close.
+	if err := st.CloseMovie(); err != nil {
+		t.Logf("close err: %v (%v dead=%v)", err, err, orb.Dead(err))
+	}
+	if c.Fabric.Conns() != 0 {
+		t.Fatalf("leak: %d conns", c.Fabric.Conns())
+	}
+}

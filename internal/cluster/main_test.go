@@ -1,0 +1,16 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMain slows the fake-clock pump slightly so background goroutines keep
+// pace with simulated time even under the race detector's ~10x slowdown;
+// the §9.7-style measurements couple simulated intervals to real goroutine
+// progress.
+func TestMain(m *testing.M) {
+	PumpSleep = 2 * time.Millisecond
+	os.Exit(m.Run())
+}

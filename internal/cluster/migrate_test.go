@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestAutoMigration exercises the implemented §8.1 future work: "Ultimately
+// we expect the CSC to be able to automatically restart services on other
+// servers after a machine failure."  When a server dies, its stranded
+// per-neighborhood RDS is reassigned to a live server, and the
+// neighborhood's settops are served again — without operator intervention.
+func TestAutoMigration(t *testing.T) {
+	// Three servers: losing one must leave a name-service majority (§4.6),
+	// or nothing — elections included — can be rebound.
+	cfg := twoServers()
+	cfg.Servers = append(cfg.Servers, ServerSpec{
+		Name: "anvil", Host: "192.168.0.3", Neighborhoods: []string{"3"},
+		Movies: cfg.Servers[0].Movies,
+	})
+	cfg.AutoMigrate = true
+	c := startCluster(t, cfg)
+
+	// A settop in neighborhood 2 is served by kiln's RDS.
+	st := bootSettop(t, c, "2", 0)
+	if _, err := st.DownloadApp("navigator"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kiln dies and stays dead (no reboot).
+	kiln := c.ServerByName("kiln")
+	kiln.SSC.Crash()
+
+	// The CSC notices the server down for MigrateAfter rounds and moves
+	// rds-2 to the least-loaded live server; its SSC starts it; the
+	// replica re-registers its neighborhood binding, replacing the dead one.
+	runningSomewhere := func(svc string) bool {
+		for _, s := range c.Servers {
+			if s == kiln {
+				continue
+			}
+			for _, name := range s.SSC.Running() {
+				if name == svc {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	waitFor(t, c, "rds-2 migrated to a live server", func() bool {
+		return runningSomewhere("rds-2")
+	})
+
+	// The neighborhood-2 settop downloads again through the migrated
+	// replica (its stub rebinds transparently).
+	waitFor(t, c, "neighborhood 2 served again", func() bool {
+		_, err := st.DownloadApp("vod")
+		return err == nil
+	})
+
+	// The migration was logged by the acting CSC, and pinned per-server
+	// services (kiln's MDS) were NOT migrated (§8.1: no reason to restart a
+	// per-server replica elsewhere).
+	var migrations []string
+	for _, s := range c.Servers {
+		if ctl := s.CSC(); ctl != nil && ctl.IsPrimary() {
+			migrations = ctl.Migrations()
+		}
+	}
+	if len(migrations) == 0 {
+		t.Fatal("no migration events logged")
+	}
+	found := false
+	for _, m := range migrations {
+		t.Logf("migration: %s", m)
+		if len(m) >= 5 && m[:5] == "rds-2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rds-2 not among migrations: %v", migrations)
+	}
+	for _, m := range migrations {
+		if m[:3] == "mds" || m[:2] == "ns" {
+			t.Fatalf("pinned service migrated: %s", m)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package cmgr
+
+import (
+	"testing"
+	"time"
+
+	"itv/internal/atm"
+	"itv/internal/clock"
+	"itv/internal/core"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/transport"
+)
+
+type fixture struct {
+	t      *testing.T
+	clk    *clock.Fake
+	nw     *transport.Network
+	ns     *names.Replica
+	fabric *atm.Network
+	client *core.Session
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{t: t, clk: clock.NewFake(), nw: transport.NewNetwork()}
+	ns, err := names.NewReplica(f.nw.Host("192.168.0.1"), f.clk, names.Config{
+		Peers: []string{"192.168.0.1:555"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ns = ns
+	t.Cleanup(ns.Close)
+	f.waitFor("ns master", ns.IsMaster)
+
+	f.fabric = atm.New()
+	f.fabric.AddServer("192.168.0.1", 100*atm.Mbps)
+	f.fabric.AddServer("192.168.0.2", 100*atm.Mbps)
+	for _, h := range []string{"10.1.0.5", "10.2.0.5"} {
+		f.fabric.AddSettop(h)
+	}
+
+	ep, err := orb.NewEndpoint(f.nw.Host("10.1.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ep.Close)
+	f.client = core.NewSession(ep, ns.RootRef(), f.clk)
+	return f
+}
+
+func (f *fixture) waitFor(what string, cond func() bool) {
+	f.t.Helper()
+	for i := 0; i < 600; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("condition never held: %s", what)
+}
+
+// newReplica creates and starts a cmgr replica on the given server host.
+func (f *fixture) newReplica(host, scope string) *Service {
+	f.t.Helper()
+	ep, err := orb.NewEndpoint(f.nw.Host(host))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	sess := core.NewSession(ep, f.ns.RootRef(), f.clk)
+	s := New(sess, f.fabric, scope)
+	s.elector.RetryInterval = 2 * time.Second
+	s.Start()
+	f.t.Cleanup(func() { s.Close(); ep.Close() })
+	return s
+}
+
+func TestPrimaryAllocatesAndReleases(t *testing.T) {
+	f := newFixture(t)
+	s := f.newReplica("192.168.0.1", "1")
+	f.waitFor("primary", s.IsPrimary)
+
+	a, err := s.Allocate("10.1.0.5", "192.168.0.1", 4*atm.Mbps, atm.CBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.fabric.Conns() != 1 {
+		t.Fatal("fabric connection missing")
+	}
+	if s.Held("10.1.0.5") != 1 {
+		t.Fatal("per-settop count wrong")
+	}
+	if err := s.Release(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if f.fabric.Conns() != 0 || s.Held("10.1.0.5") != 0 {
+		t.Fatal("release incomplete")
+	}
+	if err := s.Release(a.ID); !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("double release err = %v", err)
+	}
+}
+
+func TestResourceLimitPerSettop(t *testing.T) {
+	// §7.3: "A settop client is only allowed to open a certain number of
+	// network connections ... If the settop attempts to acquire more
+	// resources ... its request is denied."
+	f := newFixture(t)
+	s := f.newReplica("192.168.0.1", "1")
+	f.waitFor("primary", s.IsPrimary)
+	for i := 0; i < DefaultMaxConnsPerSettop; i++ {
+		if _, err := s.Allocate("10.1.0.5", "192.168.0.1", 1*atm.Mbps, atm.CBR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Allocate("10.1.0.5", "192.168.0.1", 1*atm.Mbps, atm.CBR)
+	if !orb.IsApp(err, orb.ExcExhausted) {
+		t.Fatalf("over-limit err = %v", err)
+	}
+}
+
+func TestBandwidthExhaustionSurfaced(t *testing.T) {
+	f := newFixture(t)
+	s := f.newReplica("192.168.0.1", "1")
+	f.waitFor("primary", s.IsPrimary)
+	// The settop's 6 Mb/s downstream refuses a second 4 Mb/s stream.
+	if _, err := s.Allocate("10.1.0.5", "192.168.0.1", 4*atm.Mbps, atm.CBR); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Allocate("10.1.0.5", "192.168.0.1", 4*atm.Mbps, atm.CBR)
+	if !orb.IsApp(err, orb.ExcExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNeighborhoodResolutionViaSelector(t *testing.T) {
+	f := newFixture(t)
+	s1 := f.newReplica("192.168.0.1", "1")
+	s2 := f.newReplica("192.168.0.2", "2")
+	f.waitFor("both primaries", func() bool { return s1.IsPrimary() && s2.IsPrimary() })
+
+	// A settop in neighborhood 2 resolving "svc/cmgr" reaches replica 2.
+	ep, err := orb.NewEndpoint(f.nw.Host("10.2.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	sess := core.NewSession(ep, f.ns.RootRef(), f.clk)
+	ref, err := sess.Root.Resolve(ContextPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != s2.Ref() {
+		t.Fatalf("neighborhood 2 resolved %v, want replica 2", ref)
+	}
+	// Explicit indexing works too (Fig. 4's "svc/cmgr/1").
+	ref1, err := sess.Root.Resolve(ContextPath + "/1")
+	if err != nil || ref1 != s1.Ref() {
+		t.Fatalf("explicit index = %v, %v", ref1, err)
+	}
+}
+
+func TestBackupTakesOverWithMirroredState(t *testing.T) {
+	f := newFixture(t)
+	f.ns.SetChecker(pingChecker{f.client.Ep})
+
+	primary := f.newReplica("192.168.0.1", "1")
+	f.waitFor("primary elected", primary.IsPrimary)
+	backup := f.newReplica("192.168.0.2", "1")
+
+	// Let the backup register as a mirror, then allocate.
+	f.waitFor("mirror registered", func() bool {
+		primary.mu.Lock()
+		defer primary.mu.Unlock()
+		return len(primary.mirrors) == 1
+	})
+	a, err := primary.Allocate("10.1.0.5", "192.168.0.1", 3*atm.Mbps, atm.CBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("allocation mirrored", func() bool {
+		backup.mu.Lock()
+		defer backup.mu.Unlock()
+		_, ok := backup.table[a.ID]
+		return ok
+	})
+
+	// Primary crashes; the backup is promoted with the table intact and
+	// can release the connection the hardware still carries.
+	primary.sess.Ep.Close()
+	f.waitFor("backup promoted", backup.IsPrimary)
+	if err := backup.Release(a.ID); err != nil {
+		t.Fatalf("promoted backup could not release mirrored conn: %v", err)
+	}
+	if f.fabric.Conns() != 0 {
+		t.Fatal("fabric still holds the connection")
+	}
+}
+
+func TestRemoteStub(t *testing.T) {
+	f := newFixture(t)
+	s := f.newReplica("192.168.0.1", "1")
+	f.waitFor("primary", s.IsPrimary)
+	stub := Stub{Ep: f.client.Ep, Ref: s.Ref()}
+	a, err := stub.Allocate("10.1.0.5", "192.168.0.1", 2*atm.Mbps, atm.CBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := stub.List()
+	if err != nil || len(list) != 1 || list[0].ID != a.ID {
+		t.Fatalf("List = %v, %v", list, err)
+	}
+	if err := stub.Release(a.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pingChecker stands in for the RAS.
+type pingChecker struct{ ep *orb.Endpoint }
+
+func (p pingChecker) CheckStatus(refs []oref.Ref) (map[string]bool, error) {
+	out := make(map[string]bool, len(refs))
+	for _, r := range refs {
+		out[r.Key()] = !orb.Dead(p.ep.Ping(r))
+	}
+	return out, nil
+}
+
+func TestResourceAccounting(t *testing.T) {
+	// §7.3's future work, implemented: per-settop usage and buggy-client
+	// detection through denied-request counts.
+	f := newFixture(t)
+	s := f.newReplica("192.168.0.1", "1")
+	f.waitFor("primary", s.IsPrimary)
+
+	// A well-behaved settop: one 4 Mb/s stream for 100 simulated seconds.
+	a, err := s.Allocate("10.1.0.5", "192.168.0.1", 4*atm.Mbps, atm.CBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(100 * time.Second)
+	if err := s.Release(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	u := s.UsageOf("10.1.0.5")
+	if u.Opened != 1 || u.Denied != 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+	// 4 Mb/s x 100 s = 400 megabit-seconds.
+	if u.MbitSeconds < 399 || u.MbitSeconds > 401 {
+		t.Fatalf("MbitSeconds = %f, want ~400", u.MbitSeconds)
+	}
+
+	// A buggy settop hammers past its connection limit.
+	for i := 0; i < DefaultMaxConnsPerSettop; i++ {
+		if _, err := s.Allocate("10.2.0.5", "192.168.0.2", 100_000, atm.CBR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Allocate("10.2.0.5", "192.168.0.2", 100_000, atm.CBR); !orb.IsApp(err, orb.ExcExhausted) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	suspects := s.Suspects(5)
+	if len(suspects) != 1 || suspects[0] != "10.2.0.5" {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	if s.Suspects(6) != nil {
+		t.Fatal("threshold not applied")
+	}
+
+	// The report travels over the IDL.
+	stub := Stub{Ep: f.client.Ep, Ref: s.Ref()}
+	report, err := stub.Usage()
+	if err != nil || len(report) != 2 {
+		t.Fatalf("report = %v, %v", report, err)
+	}
+	if report[0].Settop != "10.1.0.5" || report[1].Denied != 5 {
+		t.Fatalf("report rows = %+v", report)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/oref"
+)
+
+// RegisterActive publishes an always-active service replica (§5.1): it
+// ensures the replicated context at ctxPath exists with the given selector
+// policy and binds ref under the replica's name, e.g.
+//
+//	RegisterActive("svc/rds", "2", ref, names.PolicyNeighborhood)
+//
+// makes this process the Reliable Delivery Service for neighborhood 2.
+//
+// If the replica name is already bound to a dead object — a replica
+// restarting faster than the audit removes its old binding — the stale
+// binding is replaced.
+func (s *Session) RegisterActive(ctxPath, replicaName string, ref oref.Ref, policy string) error {
+	// Create intermediate contexts ("svc" in "svc/rds") as needed.
+	parts := names.SplitPath(ctxPath)
+	for i := 1; i < len(parts); i++ {
+		prefix := strings.Join(parts[:i], "/")
+		if _, err := s.Root.BindNewContext(prefix); err != nil &&
+			!orb.IsApp(err, orb.ExcAlreadyBound) {
+			return err
+		}
+	}
+	if _, err := s.Root.BindReplContext(ctxPath, policy); err != nil &&
+		!orb.IsApp(err, orb.ExcAlreadyBound) {
+		return err
+	}
+	name := ctxPath + "/" + replicaName
+	err := s.Root.Bind(name, ref)
+	if !orb.IsApp(err, orb.ExcAlreadyBound) {
+		return err
+	}
+	// Existing binding: if it is our own previous incarnation (or any dead
+	// object), replace it; if a live replica holds it, report the clash.
+	existing, rerr := s.Root.Resolve(name)
+	if rerr == nil && !orb.Dead(s.Ep.Ping(existing)) {
+		return orb.Errf(orb.ExcAlreadyBound, "replica name %q held by a live object", name)
+	}
+	if uerr := s.Root.Unbind(name); uerr != nil && !orb.IsApp(uerr, orb.ExcNotFound) {
+		return uerr
+	}
+	return s.Root.Bind(name, ref)
+}

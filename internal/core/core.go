@@ -1,0 +1,164 @@
+// Package core packages the paper's primary contribution — the OCS recipe
+// for building highly available, scalable services — as a small client and
+// server library over the substrate packages:
+//
+//   - Session: a process's handle on the cluster (its endpoint plus the
+//     root naming context from its boot parameters).
+//   - Rebinder: the client-side library code of §8.2 — invoke through a
+//     name, and on an invalid reference automatically re-resolve and
+//     retry, with optional backoff against recovery storms.
+//   - Elector: the primary/backup pattern of §5.2 — replicas race to bind
+//     the service name; the winner is primary; the losers retry on an
+//     interval and take over when auditing removes the dead primary's
+//     binding.
+//   - RegisterActive: the multiple-active-replica pattern of §5.1 — bind
+//     a replica into a replicated context and let selectors spread
+//     clients across the replicas.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"itv/internal/clock"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// Session is one process's view of the cluster.
+type Session struct {
+	Ep   *orb.Endpoint
+	Root names.Context
+	Clk  clock.Clock
+}
+
+// NewSession builds a session from an endpoint and the root-context
+// reference delivered in boot parameters (§3.4.1).
+func NewSession(ep *orb.Endpoint, rootRef oref.Ref, clk clock.Clock) *Session {
+	return &Session{
+		Ep:   ep,
+		Root: names.Context{Ep: ep, Ref: rootRef},
+		Clk:  clk,
+	}
+}
+
+// Service returns a rebinding proxy for the named service.
+func (s *Session) Service(name string) *Rebinder {
+	return &Rebinder{s: s, name: name, MaxAttempts: 4}
+}
+
+// Rebinder invokes operations on whatever object the name currently
+// resolves to, transparently re-resolving on failure (§8.2): "library code
+// in the client automatically returns to the name service to obtain
+// another object reference for the service."
+type Rebinder struct {
+	s    *Session
+	name string
+
+	// MaxAttempts bounds resolve+invoke rounds per call (default 4).
+	MaxAttempts int
+	// Backoff, if set, sleeps Backoff·2^attempt between retries — the
+	// §8.2 mitigation for recovery storms.
+	Backoff time.Duration
+
+	mu  sync.Mutex
+	ref oref.Ref
+}
+
+// Name returns the service name the rebinder targets.
+func (rb *Rebinder) Name() string { return rb.name }
+
+// Session returns the session the rebinder operates in; service stubs use
+// it to build sibling proxies for objects a call returns (§3.2.1: object
+// references may be returned as results).
+func (rb *Rebinder) Session() *Session { return rb.s }
+
+// Ref returns the current object reference, resolving if necessary.
+func (rb *Rebinder) Ref() (oref.Ref, error) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.refLocked()
+}
+
+func (rb *Rebinder) refLocked() (oref.Ref, error) {
+	if !rb.ref.IsNil() {
+		return rb.ref, nil
+	}
+	ref, err := rb.s.Root.Resolve(rb.name)
+	if err != nil {
+		return oref.Ref{}, err
+	}
+	rb.ref = ref
+	return ref, nil
+}
+
+// Invalidate drops the cached reference; the next call re-resolves.
+func (rb *Rebinder) Invalidate() {
+	rb.mu.Lock()
+	rb.ref = oref.Ref{}
+	rb.mu.Unlock()
+}
+
+// retryable reports whether an error is worth re-resolving for: the
+// object is gone (§8.2), the binding is momentarily absent (a backup has
+// not yet bound itself, §5.2), or the name service has no master.
+func retryable(err error) bool {
+	return orb.Dead(err) ||
+		orb.IsApp(err, orb.ExcNotFound) ||
+		orb.IsApp(err, orb.ExcUnavailable)
+}
+
+// Invoke performs one operation with automatic rebinding.
+func (rb *Rebinder) Invoke(method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	attempts := rb.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && rb.Backoff > 0 {
+			rb.s.Clk.Sleep(rb.Backoff << (attempt - 1))
+		}
+		ref, err := rb.Ref()
+		if err != nil {
+			lastErr = err
+			if retryable(err) {
+				continue
+			}
+			return err
+		}
+		err = rb.s.Ep.Invoke(ref, method, put, get)
+		if err == nil || !orb.Dead(err) {
+			return err
+		}
+		lastErr = err
+		rb.Invalidate()
+	}
+	return lastErr
+}
+
+// Resolve is Invoke's counterpart for callers that need the reference
+// itself (to pass along, §3.2.1), retrying transient resolution failures.
+func (rb *Rebinder) Resolve() (oref.Ref, error) {
+	attempts := rb.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && rb.Backoff > 0 {
+			rb.s.Clk.Sleep(rb.Backoff << (attempt - 1))
+		}
+		ref, err := rb.Ref()
+		if err == nil {
+			return ref, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return oref.Ref{}, err
+		}
+	}
+	return oref.Ref{}, lastErr
+}

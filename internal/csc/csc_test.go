@@ -1,0 +1,246 @@
+package csc
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itv/internal/clock"
+	"itv/internal/core"
+	"itv/internal/db"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/proc"
+	"itv/internal/ssc"
+	"itv/internal/transport"
+)
+
+type fixture struct {
+	t      *testing.T
+	clk    *clock.Fake
+	nw     *transport.Network
+	ns     *names.Replica
+	store  *db.Store
+	dbSvc  *db.Service
+	sscs   map[string]*ssc.Controller
+	cscs   []*Controller
+	starts atomic.Int64
+}
+
+func hostIP(i int) string { return []string{"192.168.0.1", "192.168.0.2"}[i] }
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{t: t, clk: clock.NewFake(), nw: transport.NewNetwork(),
+		sscs: make(map[string]*ssc.Controller)}
+
+	ns, err := names.NewReplica(f.nw.Host(hostIP(0)), f.clk, names.Config{
+		Peers: []string{hostIP(0) + ":555"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ns = ns
+	t.Cleanup(ns.Close)
+	f.waitFor("ns master", ns.IsMaster)
+
+	f.store, _ = db.NewStore("")
+	f.dbSvc, err = db.New(f.nw.Host(hostIP(0)), f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.dbSvc.Close)
+
+	for i := 0; i < 2; i++ {
+		f.addSSC(hostIP(i))
+	}
+
+	// Cluster configuration: two servers; "vod" on both, "billing" on
+	// server 1 only.
+	f.store.Put(ServersTable, hostIP(0), "")
+	f.store.Put(ServersTable, hostIP(1), "")
+	f.store.Put(ServicesTable, "vod", hostIP(0)+","+hostIP(1))
+	f.store.Put(ServicesTable, "billing", hostIP(0))
+
+	for i := 0; i < 2; i++ {
+		ep, err := orb.NewEndpoint(f.nw.Host(hostIP(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := core.NewSession(ep, ns.RootRef(), f.clk)
+		ctl := New(sess, db.RefAt(hostIP(0)))
+		ctl.elector.RetryInterval = 2 * time.Second
+		ctl.Start()
+		f.cscs = append(f.cscs, ctl)
+		t.Cleanup(func() { ctl.Close(); ep.Close() })
+	}
+	return f
+}
+
+// addSSC installs an SSC with trivial specs for "vod" and "billing".
+func (f *fixture) addSSC(host string) {
+	ctl, err := ssc.New(f.nw.Host(host), f.clk)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	for _, name := range []string{"vod", "billing"} {
+		name := name
+		ctl.AddSpec(ssc.ServiceSpec{
+			Name: name,
+			Start: func(p *proc.Process, _ *ssc.Controller) error {
+				f.starts.Add(1)
+				return nil
+			},
+		})
+	}
+	f.sscs[host] = ctl
+	f.t.Cleanup(ctl.Close)
+}
+
+func (f *fixture) waitFor(what string, cond func() bool) {
+	f.t.Helper()
+	for i := 0; i < 600; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("condition never held: %s", what)
+}
+
+func running(ctl *ssc.Controller, name string) bool {
+	for _, s := range ctl.Running() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *fixture) primary() *Controller {
+	f.t.Helper()
+	var p *Controller
+	f.waitFor("a csc primary", func() bool {
+		for _, c := range f.cscs {
+			if c.IsPrimary() {
+				p = c
+				return true
+			}
+		}
+		return false
+	})
+	return p
+}
+
+func TestCSCStartsConfiguredServices(t *testing.T) {
+	f := newFixture(t)
+	f.primary()
+	f.waitFor("vod running on both servers", func() bool {
+		return running(f.sscs[hostIP(0)], "vod") && running(f.sscs[hostIP(1)], "vod")
+	})
+	f.waitFor("billing on server 1 only", func() bool {
+		return running(f.sscs[hostIP(0)], "billing") && !running(f.sscs[hostIP(1)], "billing")
+	})
+}
+
+func TestCSCAppliesMove(t *testing.T) {
+	f := newFixture(t)
+	p := f.primary()
+	f.waitFor("billing up on server 1", func() bool {
+		return running(f.sscs[hostIP(0)], "billing")
+	})
+	// Operator moves billing to server 2.
+	if err := p.MoveService("billing", []string{hostIP(1)}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("billing moved", func() bool {
+		return !running(f.sscs[hostIP(0)], "billing") && running(f.sscs[hostIP(1)], "billing")
+	})
+}
+
+func TestCSCRestartsServicesAfterServerReboot(t *testing.T) {
+	f := newFixture(t)
+	f.primary()
+	f.waitFor("vod running on server 2", func() bool {
+		return running(f.sscs[hostIP(1)], "vod")
+	})
+
+	// Server 2 reboots: its SSC crashes (children die) and a fresh SSC
+	// comes up empty.  The CSC must notice and repopulate it (§6.3).
+	f.sscs[hostIP(1)].Crash()
+	f.waitFor("server 2 observed down", func() bool {
+		for _, c := range f.cscs {
+			if c.IsPrimary() {
+				return !c.ServerUp(hostIP(1))
+			}
+		}
+		return false
+	})
+	f.addSSC(hostIP(1))
+	f.waitFor("vod restarted on rebooted server", func() bool {
+		return running(f.sscs[hostIP(1)], "vod")
+	})
+}
+
+func TestCSCFailover(t *testing.T) {
+	f := newFixture(t)
+	p1 := f.primary()
+	p1.Close()
+	f.waitFor("backup csc takes over", func() bool {
+		for _, c := range f.cscs {
+			if c != p1 && c.IsPrimary() {
+				return true
+			}
+		}
+		return false
+	})
+	// The new primary still reconciles: move a service through it.
+	var p2 *Controller
+	for _, c := range f.cscs {
+		if c != p1 && c.IsPrimary() {
+			p2 = c
+		}
+	}
+	if err := p2.MoveService("billing", []string{hostIP(1)}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("post-failover move applied", func() bool {
+		return running(f.sscs[hostIP(1)], "billing")
+	})
+}
+
+func TestCSCStubStatusAndMove(t *testing.T) {
+	f := newFixture(t)
+	f.primary()
+	f.waitFor("reconcile observed servers", func() bool {
+		for _, c := range f.cscs {
+			if c.IsPrimary() && c.ServerUp(hostIP(0)) && c.ServerUp(hostIP(1)) {
+				return true
+			}
+		}
+		return false
+	})
+
+	ep, err := orb.NewEndpoint(f.nw.Host("192.168.0.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	sess := core.NewSession(ep, f.ns.RootRef(), f.clk)
+	stub := NewStub(sess)
+
+	st, err := stub.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st[hostIP(0)] || !st[hostIP(1)] {
+		t.Fatalf("status = %v", st)
+	}
+	if err := stub.Move("billing", []string{hostIP(1)}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitFor("stub move applied", func() bool {
+		return running(f.sscs[hostIP(1)], "billing")
+	})
+}

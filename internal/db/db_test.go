@@ -1,0 +1,166 @@
+package db
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"itv/internal/orb"
+	"itv/internal/transport"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("config", "mds", "forge,kiln")
+	v, ok := s.Get("config", "mds")
+	if !ok || v != "forge,kiln" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("config", "ghost"); ok {
+		t.Fatal("missing key reported present")
+	}
+	if _, ok := s.Get("ghost-table", "x"); ok {
+		t.Fatal("missing table reported present")
+	}
+	s.Delete("config", "mds")
+	if _, ok := s.Get("config", "mds"); ok {
+		t.Fatal("deleted key reported present")
+	}
+	s.Delete("config", "never-there") // no-op
+}
+
+func TestKeysSortedAndAll(t *testing.T) {
+	s, _ := NewStore("")
+	s.Put("t", "b", "2")
+	s.Put("t", "a", "1")
+	s.Put("t", "c", "3")
+	keys := s.Keys("t")
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	all := s.All("t")
+	if len(all) != 3 || all["b"] != "2" {
+		t.Fatalf("All = %v", all)
+	}
+	// All returns a copy.
+	all["b"] = "mutated"
+	if v, _ := s.Get("t", "b"); v != "2" {
+		t.Fatal("All leaked internal state")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "itv.db")
+	s1, err := NewStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put("config", "csc", "192.168.0.1,192.168.0.2")
+	s1.Put("config", "doomed", "x")
+	s1.Delete("config", "doomed")
+	s1.Put("orders", "1001", "t-shirt")
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("config", "csc"); !ok || v != "192.168.0.1,192.168.0.2" {
+		t.Fatalf("persisted value = %q, %v", v, ok)
+	}
+	if _, ok := s2.Get("config", "doomed"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, _ := s2.Get("orders", "1001"); v != "t-shirt" {
+		t.Fatal("second table lost")
+	}
+}
+
+func TestCorruptLogRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	if err := os.WriteFile(path, []byte{0xff, 0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(path); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestStorePropertyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prop.db")
+	f := func(keys, vals []string) bool {
+		s, err := NewStore(path)
+		if err != nil {
+			return false
+		}
+		want := map[string]string{}
+		for i, k := range keys {
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			s.Put("t", k, v)
+			want[k] = v
+		}
+		s.Close()
+		s2, err := NewStore(path)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		for k, v := range want {
+			got, ok := s2.Get("t", k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteStub(t *testing.T) {
+	nw := transport.NewNetwork()
+	store, _ := NewStore("")
+	svc, err := New(nw.Host("192.168.0.1"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := orb.NewEndpoint(nw.Host("192.168.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stub := Stub{Ep: client, Ref: RefAt("192.168.0.1")}
+	if err := stub.Put("config", "mms", "primary=192.168.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := stub.Get("config", "mms")
+	if err != nil || !ok || v != "primary=192.168.0.1" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	keys, err := stub.Keys("config")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	all, err := stub.All("config")
+	if err != nil || len(all) != 1 {
+		t.Fatalf("All = %v, %v", all, err)
+	}
+	if err := stub.Delete("config", "mms"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := stub.Get("config", "mms"); ok {
+		t.Fatal("delete did not take effect")
+	}
+}

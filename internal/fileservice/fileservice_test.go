@@ -1,0 +1,222 @@
+package fileservice
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"itv/internal/clock"
+	"itv/internal/core"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/transport"
+)
+
+type fixture struct {
+	t      *testing.T
+	clk    *clock.Fake
+	nw     *transport.Network
+	ns     *names.Replica
+	fs     *Service
+	client *core.Session
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := clock.NewFake()
+	nw := transport.NewNetwork()
+	ns, err := names.NewReplica(nw.Host("192.168.0.1"), clk, names.Config{
+		Peers: []string{"192.168.0.1:555"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+	f := &fixture{t: t, clk: clk, nw: nw, ns: ns}
+	f.waitFor("master", ns.IsMaster)
+
+	fsEp, err := orb.NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fsEp.Close)
+	f.fs = New(core.NewSession(fsEp, ns.RootRef(), clk))
+
+	clientEp, err := orb.NewEndpoint(nw.Host("10.1.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clientEp.Close)
+	f.client = core.NewSession(clientEp, ns.RootRef(), clk)
+	return f
+}
+
+func (f *fixture) waitFor(what string, cond func() bool) {
+	f.t.Helper()
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("condition never held: %s", what)
+}
+
+func TestCreateReadRemove(t *testing.T) {
+	f := newFixture(t)
+	if err := f.fs.Create("fonts/helvetica", []byte("glyphs")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.fs.Read("fonts/helvetica")
+	if err != nil || !bytes.Equal(data, []byte("glyphs")) {
+		t.Fatalf("Read = %q, %v", data, err)
+	}
+	if err := f.fs.Remove("fonts/helvetica"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.fs.Read("fonts/helvetica"); !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("read after remove: %v", err)
+	}
+	// Non-empty directory refuses removal.
+	if err := f.fs.Create("a/b/c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.fs.Remove("a/b"); !orb.IsApp(err, orb.ExcAlreadyBound) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+	if err := f.fs.Remove("a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.fs.Remove("a/b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolutionCrossesIntoFileService(t *testing.T) {
+	// §4.6: the file service binds FileSystemContext objects into the
+	// cluster-wide name space; multi-component resolution crosses from the
+	// name service into the file service transparently.
+	f := newFixture(t)
+	if err := f.fs.Create("fonts/helvetica", []byte("glyphs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.fs.Mount("files"); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := f.client.Root.Resolve("files/fonts/helvetica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TypeID != TypeFile {
+		t.Fatalf("type = %q", ref.TypeID)
+	}
+	data, err := (File{Ep: f.client.Ep, Ref: ref}).Read()
+	if err != nil || string(data) != "glyphs" {
+		t.Fatalf("read via name space = %q, %v", data, err)
+	}
+
+	// A directory resolves to a context usable as a stub target.
+	dirRef, err := f.client.Root.Resolve("files/fonts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !names.IsContextType(dirRef.TypeID) {
+		t.Fatalf("dir type %q not a context", dirRef.TypeID)
+	}
+	sub := names.Context{Ep: f.client.Ep, Ref: dirRef}
+	ref2, err := sub.Resolve("helvetica")
+	if err != nil || ref2 != ref {
+		t.Fatalf("relative resolve = %v, %v", ref2, err)
+	}
+}
+
+func TestListThroughNameSpace(t *testing.T) {
+	f := newFixture(t)
+	f.fs.Create("fonts/a", []byte("1"))
+	f.fs.Create("fonts/b", []byte("2"))
+	f.fs.Mkdir("fonts/sub")
+	if err := f.fs.Mount("files"); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := f.client.Root.List("files/fonts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("list = %v", bs)
+	}
+	if bs[0].Name != "a" || bs[2].Name != "sub" {
+		t.Fatalf("order = %v", bs)
+	}
+}
+
+func TestWriteThroughFileObject(t *testing.T) {
+	f := newFixture(t)
+	f.fs.Create("cfg", []byte("v1"))
+	f.fs.Mount("files")
+	ref, err := f.client.Root.Resolve("files/cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := File{Ep: f.client.Ep, Ref: ref}
+	if err := file.Write([]byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := file.Size()
+	if err != nil || n != 2 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if data, _ := f.fs.Read("cfg"); string(data) != "v2" {
+		t.Fatalf("write lost: %q", data)
+	}
+}
+
+func TestCreateFileExtensionOp(t *testing.T) {
+	// §4.6: FileSystemContext "exports additional operations for file
+	// creation" — invoked on the directory context object.
+	f := newFixture(t)
+	f.fs.Mkdir("apps")
+	f.fs.Mount("files")
+	dirRef, err := f.client.Root.Resolve("files/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateFile(f.client.Ep, dirRef, "nav.bin", []byte("elf")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.fs.Read("apps/nav.bin")
+	if err != nil || string(data) != "elf" {
+		t.Fatalf("created file = %q, %v", data, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f := newFixture(t)
+	if err := f.fs.Create("", []byte("x")); !orb.IsApp(err, orb.ExcBadArgs) {
+		t.Fatalf("empty create: %v", err)
+	}
+	f.fs.Create("file", []byte("x"))
+	if err := f.fs.Mkdir("file"); !orb.IsApp(err, orb.ExcAlreadyBound) {
+		t.Fatalf("mkdir over file: %v", err)
+	}
+	if _, err := f.fs.Read("file/deeper"); !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("read through file: %v", err)
+	}
+	f.fs.Mkdir("dir")
+	if err := f.fs.Create("dir", []byte("x")); !orb.IsApp(err, orb.ExcAlreadyBound) {
+		t.Fatalf("create over dir: %v", err)
+	}
+	// Resolving through a file fails with NotContext.
+	if _, err := f.fs.resolve("", "file/deeper"); !orb.IsApp(err, orb.ExcNotContext) {
+		t.Fatalf("resolve through file: %v", err)
+	}
+	// Binding arbitrary refs into the FS is refused.
+	f.fs.Mount("files")
+	dirRef, _ := f.client.Root.Resolve("files/dir")
+	sub := names.Context{Ep: f.client.Ep, Ref: dirRef}
+	if err := sub.Bind("x", dirRef); !orb.IsApp(err, orb.ExcNotContext) {
+		t.Fatalf("bind into fs: %v", err)
+	}
+}

@@ -1,0 +1,463 @@
+// Package mms implements the Media Management Service (§3.3–3.5): the
+// service applications ask to open movies.  For each open it chooses an
+// MDS replica (by movie location and load), has the Connection Manager
+// allocate the settop's high-bandwidth connection, opens the movie, and
+// hands the movie object back to the application (Fig. 4).  It polls the
+// Resource Audit Service about the settops holding movies and reclaims
+// disk and network resources when one fails (§3.5.1).
+//
+// The MMS is replicated primary/backup (§5.2).  It keeps no replicated
+// state: a newly promoted replica reconstructs its table by querying every
+// MDS for its open movies and the Connection Manager for its allocations
+// (§10.1.1).
+package mms
+
+import (
+	"sync"
+	"time"
+
+	"itv/internal/atm"
+	"itv/internal/audit"
+	"itv/internal/cmgr"
+	"itv/internal/core"
+	"itv/internal/media"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// TypeID is the IDL interface name.
+const TypeID = "itv.MMS"
+
+// ServiceName is the MMS's binding in the cluster name space.
+const ServiceName = "svc/mms"
+
+// DefaultRASPollInterval is how often the MMS polls the RAS about settops
+// holding movies (Fig. 4 step 10; §9.7 pairs it with the name service's
+// 10 s RAS poll).
+const DefaultRASPollInterval = 10 * time.Second
+
+// DefaultMDSRetryInterval is how often a dead MDS replica is re-probed
+// (§3.5.2: "The MMS will periodically re-resolve and retry the MDS object
+// reference for the failed MDS").
+const DefaultMDSRetryInterval = 10 * time.Second
+
+type openMovie struct {
+	MovieID  string
+	Title    string
+	Settop   string
+	ConnID   string
+	MDSName  string
+	MovieRef oref.Ref
+	MDSRef   oref.Ref
+	CmgrRef  oref.Ref
+}
+
+// Service is one MMS replica.
+type Service struct {
+	sess    *core.Session
+	elector *core.Elector
+	watcher *audit.Watcher
+	ref     oref.Ref
+
+	MDSRetryInterval time.Duration
+
+	mu      sync.Mutex
+	movies  map[string]*openMovie // movieID -> record
+	deadMDS map[string]bool       // MDS replica name -> believed dead
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an MMS replica.  rasRef is the local server's RAS.
+func New(sess *core.Session, rasRef oref.Ref) *Service {
+	s := &Service{
+		sess:             sess,
+		MDSRetryInterval: DefaultMDSRetryInterval,
+		movies:           make(map[string]*openMovie),
+		deadMDS:          make(map[string]bool),
+		stop:             make(chan struct{}),
+		done:             make(chan struct{}),
+	}
+	s.ref = sess.Ep.Register("mms", &skel{s: s})
+	s.watcher = audit.NewWatcher(
+		audit.Stub{Ep: sess.Ep, Ref: rasRef}, sess.Clk, DefaultRASPollInterval)
+	s.elector = sess.NewElector(ServiceName, s.ref)
+	s.elector.OnPrimary = s.rebuild
+	return s
+}
+
+// Ref returns this replica's object reference.
+func (s *Service) Ref() oref.Ref { return s.ref }
+
+// Elector exposes the replica's primary/backup elector for interval
+// tuning (§9.7's "backup retries bind" parameter).
+func (s *Service) Elector() *core.Elector { return s.elector }
+
+// IsPrimary reports whether this replica serves clients.
+func (s *Service) IsPrimary() bool { return s.elector.IsPrimary() }
+
+// OpenCount reports tracked open movies.
+func (s *Service) OpenCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.movies)
+}
+
+// Start begins campaigning and background maintenance.
+func (s *Service) Start() {
+	if _, err := s.sess.Root.BindNewContext("svc"); err != nil && !orb.IsApp(err, orb.ExcAlreadyBound) {
+		_ = err // transient; elector retries
+	}
+	s.elector.Start()
+	go s.run()
+}
+
+// Close stops the replica cleanly, releasing the primary binding so a
+// backup takes over at once.
+func (s *Service) Close() { s.shutdown(true) }
+
+// Abort stops the replica with crash semantics: the binding stays until
+// auditing removes it, exercising the §9.7 fail-over path.  Process
+// teardown (SSC kills) uses this.
+func (s *Service) Abort() { s.shutdown(false) }
+
+func (s *Service) shutdown(clean bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	s.watcher.Close()
+	if clean {
+		s.elector.Close()
+	} else {
+		s.elector.Abandon()
+	}
+	s.sess.Ep.Unregister("mms")
+}
+
+func (s *Service) run() {
+	defer close(s.done)
+	tick := s.sess.Clk.NewTicker(s.MDSRetryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C():
+			s.retryDeadMDS()
+		}
+	}
+}
+
+// retryDeadMDS re-probes replicas previously marked dead and forgives the
+// ones that answer again (§3.5.2).
+func (s *Service) retryDeadMDS() {
+	s.mu.Lock()
+	dead := make([]string, 0, len(s.deadMDS))
+	for name := range s.deadMDS {
+		dead = append(dead, name)
+	}
+	s.mu.Unlock()
+	for _, name := range dead {
+		ref, err := s.sess.Root.Resolve(media.ContextPath + "/" + name)
+		if err != nil {
+			continue
+		}
+		if err := s.sess.Ep.Ping(ref); err == nil {
+			s.mu.Lock()
+			delete(s.deadMDS, name)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Open implements the open operation (Fig. 4).  The settop's identity is
+// the caller's host.
+func (s *Service) Open(title, settopHost string) (oref.Ref, string, error) {
+	if !s.elector.IsPrimary() {
+		return oref.Ref{}, "", orb.Errf(orb.ExcUnavailable, "mms: not primary")
+	}
+
+	// Step 3: the connection manager for the settop's neighborhood.
+	cmgrRef, err := s.sess.Root.ResolveAs(cmgr.ContextPath, settopHost)
+	if err != nil {
+		return oref.Ref{}, "", err
+	}
+
+	// Step 4a: enumerate MDS replicas and find the title.
+	replicas, err := s.sess.Root.ListRepl(media.ContextPath)
+	if err != nil {
+		return oref.Ref{}, "", err
+	}
+	type candidate struct {
+		name string
+		ref  oref.Ref
+		info media.MovieInfo
+		load int
+	}
+	var candidates []candidate
+	for _, b := range replicas {
+		if b.Name == names.SelectorBinding {
+			continue
+		}
+		s.mu.Lock()
+		dead := s.deadMDS[b.Name]
+		s.mu.Unlock()
+		if dead {
+			continue
+		}
+		stub := media.Stub{Ep: s.sess.Ep, Ref: b.Ref}
+		info, has, err := stub.Has(title)
+		if err != nil {
+			s.markMDSDead(b.Name, err)
+			continue
+		}
+		if !has {
+			continue
+		}
+		load, err := stub.Load()
+		if err != nil {
+			s.markMDSDead(b.Name, err)
+			continue
+		}
+		candidates = append(candidates, candidate{name: b.Name, ref: b.Ref, info: info, load: load})
+	}
+	if len(candidates) == 0 {
+		return oref.Ref{}, "", orb.Errf(orb.ExcNotFound, "no live MDS replica stores %q", title)
+	}
+
+	// Step 4b: try candidates lightest-first; an open failure marks the
+	// replica dead and moves on (§3.5.2).
+	sortCandidates(candidates, func(i, j int) bool { return candidates[i].load < candidates[j].load })
+	var lastErr error
+	for _, cand := range candidates {
+		mdsHost := refHost(cand.ref.Addr)
+		alloc, err := (cmgr.Stub{Ep: s.sess.Ep, Ref: cmgrRef}).Allocate(
+			settopHost, mdsHost, cand.info.Bitrate, atm.CBR)
+		if err != nil {
+			// Admission failure is about the settop or server links, not
+			// the replica; surface it.
+			return oref.Ref{}, "", err
+		}
+		movieRef, movieID, err := (media.Stub{Ep: s.sess.Ep, Ref: cand.ref}).Open(
+			title, settopHost, alloc.ID)
+		if err != nil {
+			_ = (cmgr.Stub{Ep: s.sess.Ep, Ref: cmgrRef}).Release(alloc.ID)
+			if orb.Dead(err) {
+				s.markMDSDead(cand.name, err)
+				lastErr = err
+				continue
+			}
+			return oref.Ref{}, "", err
+		}
+
+		om := &openMovie{
+			MovieID:  movieID,
+			Title:    title,
+			Settop:   settopHost,
+			ConnID:   alloc.ID,
+			MDSName:  cand.name,
+			MovieRef: movieRef,
+			MDSRef:   cand.ref,
+			CmgrRef:  cmgrRef,
+		}
+		s.track(om)
+		return movieRef, movieID, nil
+	}
+	return oref.Ref{}, "", lastErr
+}
+
+// track records an open movie and watches its settop via the RAS
+// (steps 9–10 of Fig. 4).  If a record under the same id already exists
+// (which unique MDS-side ids should prevent), its resources are released
+// first rather than silently dropped.
+func (s *Service) track(om *openMovie) {
+	s.mu.Lock()
+	old, clash := s.movies[om.MovieID]
+	s.movies[om.MovieID] = om
+	s.mu.Unlock()
+	if clash && old.ConnID != om.ConnID {
+		_ = (cmgr.Stub{Ep: s.sess.Ep, Ref: old.CmgrRef}).Release(old.ConnID)
+	}
+	s.watcher.Watch(audit.SettopRef(om.Settop), func(oref.Ref) {
+		s.reclaimSettop(om.Settop)
+	})
+}
+
+// markMDSDead records a replica failure.
+func (s *Service) markMDSDead(name string, err error) {
+	if !orb.Dead(err) {
+		return
+	}
+	s.mu.Lock()
+	s.deadMDS[name] = true
+	s.mu.Unlock()
+}
+
+// Close releases one movie's resources (the application's close call,
+// §3.4.5).
+func (s *Service) CloseMovie(movieID string) error {
+	s.mu.Lock()
+	om, ok := s.movies[movieID]
+	if ok {
+		delete(s.movies, movieID)
+	}
+	remaining := 0
+	if ok {
+		for _, other := range s.movies {
+			if other.Settop == om.Settop {
+				remaining++
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return orb.Errf(orb.ExcNotFound, "no open movie %q", movieID)
+	}
+	_ = (media.Stub{Ep: s.sess.Ep, Ref: om.MDSRef}).CloseMovie(om.MovieID)
+	_ = (cmgr.Stub{Ep: s.sess.Ep, Ref: om.CmgrRef}).Release(om.ConnID)
+	if remaining == 0 {
+		s.watcher.Cancel(audit.SettopRef(om.Settop))
+	}
+	return nil
+}
+
+// reclaimSettop closes every movie a failed settop held (§3.5.1).
+func (s *Service) reclaimSettop(settop string) {
+	s.mu.Lock()
+	var ids []string
+	for id, om := range s.movies {
+		if om.Settop == settop {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		_ = s.CloseMovie(id)
+	}
+}
+
+// rebuild reconstructs the table after promotion by querying every MDS
+// (§10.1.1: "The volatile state of the MMS can be reconstructed by
+// querying each MDS in the cluster and by querying the Connection
+// Manager").
+func (s *Service) rebuild() {
+	replicas, err := s.sess.Root.ListRepl(media.ContextPath)
+	if err != nil {
+		return
+	}
+	for _, b := range replicas {
+		if b.Name == names.SelectorBinding {
+			continue
+		}
+		stub := media.Stub{Ep: s.sess.Ep, Ref: b.Ref}
+		movies, err := stub.OpenMovies()
+		if err != nil {
+			s.markMDSDead(b.Name, err)
+			continue
+		}
+		for _, m := range movies {
+			cmgrRef, err := s.sess.Root.ResolveAs(cmgr.ContextPath, m.Settop)
+			if err != nil {
+				continue
+			}
+			om := &openMovie{
+				MovieID: m.MovieID,
+				Title:   m.Title,
+				Settop:  m.Settop,
+				ConnID:  m.ConnID,
+				MDSName: b.Name,
+				// The movie object id is registered on the MDS endpoint.
+				MovieRef: oref.Ref{Addr: b.Ref.Addr, Incarnation: b.Ref.Incarnation,
+					TypeID: media.TypeMovie, ObjectID: m.MovieID},
+				MDSRef:  b.Ref,
+				CmgrRef: cmgrRef,
+			}
+			s.track(om)
+		}
+	}
+}
+
+func refHost(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+func sortCandidates[T any](s []T, less func(i, j int) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(j, j-1); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ---- IDL skeleton and stub ----
+
+type skel struct{ s *Service }
+
+func (k *skel) TypeID() string { return TypeID }
+
+func (k *skel) Dispatch(c *orb.ServerCall) error {
+	switch c.Method() {
+	case "open":
+		title := c.Args().String()
+		ref, id, err := k.s.Open(title, c.Caller().Host())
+		if err != nil {
+			return err
+		}
+		ref.MarshalWire(c.Results())
+		c.Results().PutString(id)
+		return nil
+	case "close":
+		return k.s.CloseMovie(c.Args().String())
+	default:
+		return orb.ErrNoSuchMethod
+	}
+}
+
+// Stub is the application-side proxy, following the MMS primary through
+// the name service with automatic rebinding (§8.2).
+type Stub struct {
+	Svc *core.Rebinder
+}
+
+// NewStub returns a rebinding MMS proxy.
+func NewStub(sess *core.Session) Stub {
+	return Stub{Svc: sess.Service(ServiceName)}
+}
+
+// Open opens a movie for the calling settop (Fig. 4 step 2).
+func (s Stub) Open(title string) (media.Movie, string, error) {
+	var ref oref.Ref
+	var id string
+	err := s.Svc.Invoke("open",
+		func(e *wire.Encoder) { e.PutString(title) },
+		func(d *wire.Decoder) error {
+			ref.UnmarshalWire(d)
+			id = d.String()
+			return nil
+		})
+	if err != nil {
+		return media.Movie{}, "", err
+	}
+	return media.Movie{Ep: s.Svc.Session().Ep, Ref: ref}, id, nil
+}
+
+// Close releases a movie (§3.4.5).
+func (s Stub) Close(movieID string) error {
+	return s.Svc.Invoke("close",
+		func(e *wire.Encoder) { e.PutString(movieID) }, nil)
+}

@@ -1,0 +1,202 @@
+package mms
+
+import (
+	"testing"
+	"time"
+
+	"itv/internal/atm"
+	"itv/internal/audit"
+	"itv/internal/clock"
+	"itv/internal/cmgr"
+	"itv/internal/core"
+	"itv/internal/media"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/transport"
+)
+
+// fixture wires the minimum the MMS needs: a name service, a RAS (with no
+// SSC, so everything local reads alive), one Connection Manager and two
+// MDS replicas with asymmetric catalogs.
+type fixture struct {
+	t      *testing.T
+	clk    *clock.Fake
+	nw     *transport.Network
+	ns     *names.Replica
+	fabric *atm.Network
+	mds1   *media.Service // forge: T2 + Duck Amuck
+	mds2   *media.Service // kiln: T2 only
+	svc    *Service
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{t: t, clk: clock.NewFake(), nw: transport.NewNetwork()}
+	ns, err := names.NewReplica(f.nw.Host("192.168.0.1"), f.clk, names.Config{
+		Peers: []string{"192.168.0.1:555"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ns = ns
+	t.Cleanup(ns.Close)
+	f.waitFor("master", ns.IsMaster)
+
+	ras, err := audit.New(f.nw.Host("192.168.0.1"), f.clk, audit.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ras.Close)
+
+	f.fabric = atm.New()
+	f.fabric.AddServer("192.168.0.1", 100*atm.Mbps)
+	f.fabric.AddServer("192.168.0.2", 100*atm.Mbps)
+	f.fabric.AddSettop("10.1.0.5")
+
+	cm := cmgr.New(f.session("192.168.0.1"), f.fabric, "1")
+	cm.Elector().RetryInterval = 2 * time.Second
+	cm.Start()
+	t.Cleanup(cm.Close)
+	f.waitFor("cmgr primary", cm.IsPrimary)
+
+	movies := []media.MovieInfo{
+		{Title: "T2", Size: 4_000_000_000, Bitrate: 4 * atm.Mbps},
+	}
+	f.mds1 = media.New(f.session("192.168.0.1"), "forge", append(movies,
+		media.MovieInfo{Title: "Duck Amuck", Size: 300_000_000, Bitrate: 3 * atm.Mbps}))
+	if err := f.mds1.Register(); err != nil {
+		t.Fatal(err)
+	}
+	f.mds2 = media.New(f.session("192.168.0.2"), "kiln", movies)
+	if err := f.mds2.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	f.svc = New(f.session("192.168.0.1"), audit.RefAt("192.168.0.1"))
+	f.svc.Elector().RetryInterval = 2 * time.Second
+	f.svc.Start()
+	t.Cleanup(f.svc.Close)
+	f.waitFor("mms primary", f.svc.IsPrimary)
+	return f
+}
+
+func (f *fixture) session(host string) *core.Session {
+	f.t.Helper()
+	ep, err := orb.NewEndpoint(f.nw.Host(host))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(ep.Close)
+	return core.NewSession(ep, f.ns.RootRef(), f.clk)
+}
+
+func (f *fixture) waitFor(what string, cond func() bool) {
+	f.t.Helper()
+	for i := 0; i < 600; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("condition never held: %s", what)
+}
+
+func TestOpenChoosesReplicaWithTitle(t *testing.T) {
+	f := newFixture(t)
+	// Only forge stores "Duck Amuck".
+	ref, id, err := f.svc.Open("Duck Amuck", "10.1.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Addr != f.mds1.Ref().Addr {
+		t.Fatalf("opened on %s, want forge", ref.Addr)
+	}
+	if f.svc.OpenCount() != 1 {
+		t.Fatalf("open count = %d", f.svc.OpenCount())
+	}
+	if err := f.svc.CloseMovie(id); err != nil {
+		t.Fatal(err)
+	}
+	if f.fabric.Conns() != 0 {
+		t.Fatal("connection leaked")
+	}
+}
+
+func TestOpenBalancesByLoad(t *testing.T) {
+	f := newFixture(t)
+	// Preload forge with open movies so kiln is lighter.
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.mds1.Open("T2", "10.9.9.9", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, _, err := f.svc.Open("T2", "10.1.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Addr != f.mds2.Ref().Addr {
+		t.Fatalf("opened on %s, want the lighter kiln", ref.Addr)
+	}
+}
+
+func TestOpenUnknownTitle(t *testing.T) {
+	f := newFixture(t)
+	_, _, err := f.svc.Open("Nonexistent", "10.1.0.5")
+	if !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenSkipsDeadReplica(t *testing.T) {
+	f := newFixture(t)
+	// Kill kiln's MDS endpoint: opens must fall through to forge, and
+	// kiln is remembered dead.
+	f.mds2.Ref() // ensure registered
+	// Close the endpoint behind mds2 by closing its session endpoint.
+	closeServiceEndpoint(t, f, f.mds2)
+
+	ref, _, err := f.svc.Open("T2", "10.1.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Addr != f.mds1.Ref().Addr {
+		t.Fatalf("opened on %s, want forge", ref.Addr)
+	}
+	f.svc.mu.Lock()
+	dead := f.svc.deadMDS["kiln"]
+	f.svc.mu.Unlock()
+	if !dead {
+		t.Fatal("kiln not marked dead (§3.5.2 health tracking)")
+	}
+}
+
+// closeServiceEndpoint closes the ORB endpoint an MDS runs on.
+func closeServiceEndpoint(t *testing.T, f *fixture, m *media.Service) {
+	t.Helper()
+	ep := epOfMDS(m)
+	ep.Close()
+}
+
+func epOfMDS(m *media.Service) *orb.Endpoint { return m.Endpoint() }
+
+func TestNotPrimaryRefusesOpen(t *testing.T) {
+	f := newFixture(t)
+	backup := New(f.session("192.168.0.2"), audit.RefAt("192.168.0.1"))
+	backup.Elector().RetryInterval = 2 * time.Second
+	backup.Start()
+	t.Cleanup(backup.Close)
+	// The backup never becomes primary while f.svc lives.
+	f.clk.Advance(20 * time.Second)
+	time.Sleep(3 * time.Millisecond)
+	if _, _, err := backup.Open("T2", "10.1.0.5"); !orb.IsApp(err, orb.ExcUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloseUnknownMovie(t *testing.T) {
+	f := newFixture(t)
+	if err := f.svc.CloseMovie("ghost"); !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,19 @@
+package names
+
+import "itv/internal/orb"
+
+func errAlreadyBound(name string) error {
+	return orb.Errf(orb.ExcAlreadyBound, "name %q already bound", name)
+}
+
+func errNotFound(name string) error {
+	return orb.Errf(orb.ExcNotFound, "name %q not bound", name)
+}
+
+func errNotContext(name string) error {
+	return orb.Errf(orb.ExcNotContext, "%q is not a context", name)
+}
+
+func errNotRepl(name string) error {
+	return orb.Errf(orb.ExcNotContext, "%q is not a replicated context", name)
+}

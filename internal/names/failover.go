@@ -1,0 +1,93 @@
+package names
+
+import (
+	"sync"
+
+	"itv/internal/orb"
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// FailoverInvoker retargets name-service invocations to another replica
+// when a settop's assigned replica dies with its server.  Boot parameters
+// give each settop one replica (§3.4.1), but boot parameters also carry the
+// full server list; because the name space is replicated with identical
+// context ids on every replica (§4.6), a context reference is
+// position-independent — the same persistent reference works against any
+// replica once its address is rewritten.
+//
+// Only references whose address is one of the known replica addresses are
+// retargeted; contexts implemented by other services (a remote
+// FileSystemContext) are left alone.
+type FailoverInvoker struct {
+	ep Invoker
+
+	mu    sync.Mutex
+	addrs []string // name-service replica addresses, preference order
+	cur   int
+}
+
+// NewFailoverInvoker wraps ep with fail-over across the given replica
+// addresses (the first is the assigned replica).
+func NewFailoverInvoker(ep Invoker, addrs []string) *FailoverInvoker {
+	return &FailoverInvoker{ep: ep, addrs: addrs}
+}
+
+// Current returns the currently preferred replica address.
+func (f *FailoverInvoker) Current() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.addrs) == 0 {
+		return ""
+	}
+	return f.addrs[f.cur]
+}
+
+func (f *FailoverInvoker) isReplica(addr string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, a := range f.addrs {
+		if a == addr {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Invoke implements Invoker.  Name-service references are first retargeted
+// to the preferred replica, then failed over to the others on dead-replica
+// errors.
+func (f *FailoverInvoker) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if _, ok := f.isReplica(ref.Addr); !ok {
+		return f.ep.Invoke(ref, method, put, get)
+	}
+
+	f.mu.Lock()
+	order := make([]string, 0, len(f.addrs))
+	for i := 0; i < len(f.addrs); i++ {
+		order = append(order, f.addrs[(f.cur+i)%len(f.addrs)])
+	}
+	f.mu.Unlock()
+
+	var lastErr error
+	for _, addr := range order {
+		r := ref
+		r.Addr = addr
+		err := f.ep.Invoke(r, method, put, get)
+		if orb.Dead(err) {
+			lastErr = err
+			continue
+		}
+		// Success or an application-level error: remember the replica that
+		// answered.
+		f.mu.Lock()
+		for i, a := range f.addrs {
+			if a == addr {
+				f.cur = i
+			}
+		}
+		f.mu.Unlock()
+		return err
+	}
+	return lastErr
+}

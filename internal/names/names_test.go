@@ -1,0 +1,503 @@
+package names
+
+import (
+	"errors"
+	"testing"
+
+	"itv/internal/orb"
+	"itv/internal/oref"
+)
+
+func svcRef(host string, n int) oref.Ref {
+	return oref.Ref{Addr: host, Incarnation: int64(n), TypeID: "itv.TestService"}
+}
+
+func TestSingleReplicaElectsItself(t *testing.T) {
+	c := newNSCluster(t, 1)
+	m := c.waitForMaster()
+	if m != c.replicas[0] {
+		t.Fatal("wrong master")
+	}
+}
+
+func TestBindResolveRoundTrip(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	ref := svcRef("192.168.0.1:900", 1)
+	if err := root.Bind("rds", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("rds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("resolved %v, want %v", got, ref)
+	}
+}
+
+func TestHierarchicalResolution(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindNewContext("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.BindNewContext("svc/media"); err != nil {
+		t.Fatal(err)
+	}
+	ref := svcRef("192.168.0.1:901", 2)
+	if err := root.Bind("svc/media/mds", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("svc/media/mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("resolved %v, want %v", got, ref)
+	}
+	// Resolving a context name returns a context reference usable as a
+	// stub target (§4.2: any prefix of the path denotes a context).
+	ctxRef, err := root.Resolve("svc/media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := Context{Ep: c.client, Ref: ctxRef}
+	got2, err := sub.Resolve("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != ref {
+		t.Fatalf("relative resolve = %v, want %v", got2, ref)
+	}
+}
+
+func TestBindFirstWins(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if err := root.Bind("mms", svcRef("a:1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := root.Bind("mms", svcRef("b:1", 2))
+	if !orb.IsApp(err, orb.ExcAlreadyBound) {
+		t.Fatalf("second bind err = %v, want AlreadyBound", err)
+	}
+	// After unbind, the backup's bind succeeds (§5.2).
+	if err := root.Unbind("mms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("mms", svcRef("b:1", 2)); err != nil {
+		t.Fatalf("rebind after unbind: %v", err)
+	}
+}
+
+func TestUnbindNotFound(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	err := c.root(0).Unbind("ghost")
+	if !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("err = %v, want NotFound", err)
+	}
+}
+
+func TestResolveThroughLeafFails(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if err := root.Bind("leaf", svcRef("a:1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := root.Resolve("leaf/deeper")
+	if !orb.IsApp(err, orb.ExcNotContext) {
+		t.Fatalf("err = %v, want NotContext", err)
+	}
+}
+
+func TestResolveMissing(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	_, err := c.root(0).Resolve("nothing/here")
+	if !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("err = %v, want NotFound", err)
+	}
+}
+
+func TestUnbindRemovesSubtree(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindNewContext("apps"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("apps/vod", svcRef("a:1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ctxRef, err := root.Resolve("apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Unbind("apps"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Resolve("apps/vod"); !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("resolve into removed subtree: %v", err)
+	}
+	// The removed context's object is withdrawn from the ORB as well.
+	sub := Context{Ep: c.client, Ref: ctxRef}
+	if _, err := sub.Resolve("vod"); !errors.Is(err, orb.ErrInvalidReference) {
+		t.Fatalf("stale context ref err = %v, want ErrInvalidReference", err)
+	}
+}
+
+func TestReplicatedContextSelectorFirst(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("rds", PolicyFirst); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := svcRef("192.168.0.1:900", 1), svcRef("192.168.0.2:900", 2)
+	if err := root.Bind("rds/1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("rds/2", r2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("rds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r1 {
+		t.Fatalf("first policy chose %v, want %v", got, r1)
+	}
+}
+
+func TestReplicatedContextRoundRobin(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("svc", PolicyRoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	refs := map[oref.Ref]int{}
+	r1, r2 := svcRef("a:1", 1), svcRef("b:1", 2)
+	if err := root.Bind("svc/1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("svc/2", r2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		got, err := root.Resolve("svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[got]++
+	}
+	if refs[r1] != 3 || refs[r2] != 3 {
+		t.Fatalf("round robin distribution %v", refs)
+	}
+}
+
+func TestNeighborhoodSelector(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("cmgr", PolicyNeighborhood); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := svcRef("192.168.0.1:700", 1), svcRef("192.168.0.2:700", 2)
+	if err := root.Bind("cmgr/1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("cmgr/2", r2); err != nil {
+		t.Fatal(err)
+	}
+	// A settop in neighborhood 2 resolves to replica "2".
+	n2 := c.clientOn("10.2.0.17", 0)
+	got, err := n2.Resolve("cmgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r2 {
+		t.Fatalf("neighborhood 2 got %v, want %v", got, r2)
+	}
+	// A settop in an unserved neighborhood gets NotFound.
+	n9 := c.clientOn("10.9.0.1", 0)
+	if _, err := n9.Resolve("cmgr"); !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("unserved neighborhood err = %v", err)
+	}
+}
+
+func TestServerAffinitySelector(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("ras", PolicyServerAffinity); err != nil {
+		t.Fatal(err)
+	}
+	r1 := svcRef("192.168.0.1:700", 1)
+	r2 := svcRef("192.168.0.77:700", 2)
+	if err := root.Bind("ras/a", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("ras/b", r2); err != nil {
+		t.Fatal(err)
+	}
+	// A caller on 192.168.0.77 gets the replica on its own host.
+	local := c.clientOn("192.168.0.77", 0)
+	got, err := local.Resolve("ras")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r2 {
+		t.Fatalf("affinity got %v, want %v", got, r2)
+	}
+	// A caller on an unknown host falls back to the first binding.
+	other := c.clientOn("192.168.0.99", 0)
+	got, err = other.Resolve("ras")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r1 {
+		t.Fatalf("fallback got %v, want %v", got, r1)
+	}
+}
+
+func TestDirectIndexIntoReplicatedContext(t *testing.T) {
+	// §3.4.4: resolve("svc/cmgr/1") names the neighborhood-1 replica
+	// explicitly, bypassing the selector.
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindNewContext("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.BindReplContext("svc/cmgr", PolicyNeighborhood); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := svcRef("a:1", 1), svcRef("b:1", 2)
+	if err := root.Bind("svc/cmgr/1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("svc/cmgr/2", r2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("svc/cmgr/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r2 {
+		t.Fatalf("direct index got %v, want %v", got, r2)
+	}
+}
+
+func TestSelectorChoosesContextToCompleteLookup(t *testing.T) {
+	// Figure 7: a replicated context whose bindings are themselves
+	// contexts; the selector picks the context in which the remaining path
+	// resolves.
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("bin", PolicyFirst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.BindNewContext("bin/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.BindNewContext("bin/2"); err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := svcRef("a:1", 1), svcRef("b:1", 2)
+	if err := root.Bind("bin/1/vod", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("bin/2/vod", v2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("bin/vod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v1 {
+		t.Fatalf("bin/vod resolved %v, want %v (selector-chosen context 1)", got, v1)
+	}
+}
+
+func TestListAndListRepl(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("rds", PolicyFirst); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := svcRef("a:1", 1), svcRef("b:1", 2)
+	if err := root.Bind("rds/1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("rds/2", r2); err != nil {
+		t.Fatal(err)
+	}
+	// list of a replicated context returns the selected binding only.
+	sel, err := root.List("rds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Name != "1" {
+		t.Fatalf("list(repl) = %v, want the selected binding \"1\"", sel)
+	}
+	// listRepl returns everything.
+	all, err := root.ListRepl("rds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("listRepl = %v, want 2 bindings", all)
+	}
+	// list of an ordinary context returns all bindings.
+	if err := root.Bind("plain", r1); err != nil {
+		t.Fatal(err)
+	}
+	rootList, err := root.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootList) != 2 { // "rds" and "plain"
+		t.Fatalf("root list = %v", rootList)
+	}
+	// listRepl of an ordinary context is an error.
+	if _, err := root.ListRepl("plain"); !orb.IsApp(err, orb.ExcNotContext) {
+		t.Fatalf("listRepl(plain) err = %v", err)
+	}
+}
+
+func TestCustomSelectorObject(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("mds", PolicyFirst); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("mds/forge", svcRef("a:1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("mds/kiln", svcRef("b:1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A custom selector that always picks the last binding, installed by
+	// binding it under the reserved "selector" name (§4.5).
+	selRef := c.client.Register("sel-last", SelectorFunc(
+		func(bs []Binding, _ string) (string, error) { return bs[len(bs)-1].Name, nil }))
+	if err := root.Bind("mds/selector", selRef); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != svcRef("b:1", 2) {
+		t.Fatalf("custom selector got %v", got)
+	}
+	// listRepl exposes the installed selector.
+	all, err := root.ListRepl("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range all {
+		if b.Name == SelectorBinding && b.Ref == selRef {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("selector binding missing from listRepl: %v", all)
+	}
+	// If the selector object dies, resolution falls back to the built-in
+	// policy instead of failing.
+	c.client.Unregister("sel-last")
+	got, err = root.Resolve("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != svcRef("a:1", 1) {
+		t.Fatalf("fallback got %v", got)
+	}
+}
+
+func TestLoadSelector(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindReplContext("mds", PolicyFirst); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("mds/forge", svcRef("a:1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("mds/kiln", svcRef("b:1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	ls := NewLoadSelector()
+	selRef := c.client.Register("sel-load", ls)
+	if err := root.SetSelector("mds", selRef); err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectorStub{Ep: c.client, Ref: selRef}
+	if err := Report(c.client, sel, "forge", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := Report(c.client, sel, "kiln", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Resolve("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != svcRef("b:1", 2) {
+		t.Fatalf("load selector got %v, want the lightly loaded kiln", got)
+	}
+}
+
+func TestBadSelectorPolicyRejected(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	_, err := c.root(0).BindReplContext("x", "no-such-policy")
+	if !orb.IsApp(err, orb.ExcBadArgs) {
+		t.Fatalf("err = %v, want BadArgs", err)
+	}
+}
+
+func TestNeighborhoodOf(t *testing.T) {
+	cases := map[string]string{
+		"10.3.0.17":   "3",
+		"10.12.200.9": "12",
+		"192.168.0.1": "",
+		"not-an-ip":   "",
+		"10.1.2":      "",
+		"10.0.0.0":    "0",
+		"127.0.0.1":   "",
+		"10.255.1.1":  "255",
+	}
+	for host, want := range cases {
+		if got := NeighborhoodOf(host); got != want {
+			t.Errorf("NeighborhoodOf(%q) = %q, want %q", host, got, want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0}, {"/", 0}, {"a", 1}, {"a/b", 2}, {"/a//b/", 2}, {"svc/mds/forge", 3},
+	}
+	for _, tc := range cases {
+		if got := SplitPath(tc.in); len(got) != tc.want {
+			t.Errorf("SplitPath(%q) = %v, want %d parts", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package names
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"itv/internal/oref"
+)
+
+// TestBindResolveProperty: for random trees of contexts and leaf bindings,
+// every bound path resolves to exactly the reference that was bound, both
+// through the master and through a slave (replication transparency), and
+// unbinding any prefix makes the whole subtree unresolvable.
+func TestBindResolveProperty(t *testing.T) {
+	c := newNSCluster(t, 2)
+	c.waitForMaster()
+	root := c.root(0)
+	slaveRoot := c.root(1)
+
+	counter := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		counter++
+		base := fmt.Sprintf("p%d", counter)
+		if _, err := root.BindNewContext(base); err != nil {
+			t.Logf("base: %v", err)
+			return false
+		}
+
+		// Build a random tree under base.
+		dirs := []string{base}
+		bound := map[string]oref.Ref{}
+		for i := 0; i < 12; i++ {
+			parent := dirs[rng.Intn(len(dirs))]
+			name := fmt.Sprintf("n%d", i)
+			path := parent + "/" + name
+			if rng.Intn(3) == 0 {
+				if _, err := root.BindNewContext(path); err != nil {
+					t.Logf("mkctx %s: %v", path, err)
+					return false
+				}
+				dirs = append(dirs, path)
+			} else {
+				ref := oref.Ref{
+					Addr:        fmt.Sprintf("h%d:%d", rng.Intn(9), rng.Intn(900)+1),
+					Incarnation: rng.Int63n(1 << 30),
+					TypeID:      "itv.Test",
+				}
+				if err := root.Bind(path, ref); err != nil {
+					t.Logf("bind %s: %v", path, err)
+					return false
+				}
+				bound[path] = ref
+			}
+		}
+
+		// Every leaf resolves identically on master and slave.
+		for path, want := range bound {
+			got, err := root.Resolve(path)
+			if err != nil || got != want {
+				t.Logf("resolve %s = %v, %v (want %v)", path, got, err, want)
+				return false
+			}
+			got2, err := slaveRoot.Resolve(path)
+			if err != nil || got2 != want {
+				t.Logf("slave resolve %s = %v, %v", path, got2, err)
+				return false
+			}
+		}
+
+		// Unbind the base: the entire subtree disappears.
+		if err := root.Unbind(base); err != nil {
+			return false
+		}
+		for path := range bound {
+			if _, err := root.Resolve(path); err == nil {
+				t.Logf("resolve %s survived subtree unbind", path)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathNormalizationProperty: a path resolves identically regardless of
+// redundant slashes.
+func TestPathNormalizationProperty(t *testing.T) {
+	c := newNSCluster(t, 1)
+	c.waitForMaster()
+	root := c.root(0)
+	if _, err := root.BindNewContext("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.BindNewContext("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	want := svcRef("x:1", 1)
+	if err := root.Bind("a/b/c", want); err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []string{"a/b/c", "/a/b/c", "a//b/c", "a/b/c/", "//a///b//c//"} {
+		got, err := root.Resolve(variant)
+		if err != nil || got != want {
+			t.Fatalf("Resolve(%q) = %v, %v", variant, got, err)
+		}
+	}
+	// Names with exotic but slash-free characters round-trip.
+	f := func(raw string) bool {
+		name := strings.Map(func(r rune) rune {
+			if r == '/' || r == 0 {
+				return 'x'
+			}
+			return r
+		}, raw)
+		if name == "" || len(name) > 64 || name == SelectorBinding {
+			return true
+		}
+		ref := svcRef("y:1", 2)
+		if err := root.Bind("a/"+name, ref); err != nil {
+			// A duplicate from a previous iteration is fine.
+			return true
+		}
+		got, err := root.Resolve("a/" + name)
+		_ = root.Unbind("a/" + name)
+		return err == nil && got == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package names
+
+import (
+	"fmt"
+	"sort"
+
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// store is the replicated state of the name service: the graph of contexts
+// and their bindings.  It is pure data — all mutation goes through apply,
+// so master and slaves stay byte-identical given the same update stream —
+// and every access is guarded by the owning replica's lock.
+type store struct {
+	ctxs   map[string]*ctxNode
+	nextID int64 // allocator for context object ids; master-owned
+}
+
+// ctxNode is one context.  Replicated contexts carry a selector: either a
+// built-in policy evaluated locally on each replica, or a reference to a
+// remote selector object (§4.5).
+type ctxNode struct {
+	id       string
+	repl     bool
+	policy   string   // built-in selector policy (replicated contexts)
+	selector oref.Ref // custom selector object; overrides policy when set
+	bindings map[string]entry
+}
+
+// entry is one name binding.  Local child contexts are stored by id (their
+// object references are synthesized per-replica at read time, because each
+// replica exports its own context objects); everything else is a reference.
+type entry struct {
+	ref      oref.Ref
+	childCtx string // non-empty: binding is a context implemented by this name service
+}
+
+func newStore() *store {
+	s := &store{ctxs: make(map[string]*ctxNode)}
+	s.ctxs[RootContextID] = &ctxNode{id: RootContextID, bindings: make(map[string]entry)}
+	return s
+}
+
+// ---- update operations (the replication stream) ----
+
+// op codes for replicated updates.
+const (
+	opBind uint64 = iota
+	opUnbind
+	opNewContext
+	opSetSelector
+)
+
+// update is one serialized name-space mutation.  The master assigns ids for
+// new contexts before replicating, so slaves apply deterministically.
+type update struct {
+	Op     uint64
+	Ctx    string // target context id
+	Name   string
+	Ref    oref.Ref // opBind, opSetSelector
+	NewID  string   // opNewContext
+	Repl   bool     // opNewContext
+	Policy string   // opNewContext
+}
+
+func (u *update) MarshalWire(e *wire.Encoder) {
+	e.PutUint(u.Op)
+	e.PutString(u.Ctx)
+	e.PutString(u.Name)
+	u.Ref.MarshalWire(e)
+	e.PutString(u.NewID)
+	e.PutBool(u.Repl)
+	e.PutString(u.Policy)
+}
+
+func (u *update) UnmarshalWire(d *wire.Decoder) {
+	u.Op = d.Uint()
+	u.Ctx = d.String()
+	u.Name = d.String()
+	u.Ref.UnmarshalWire(d)
+	u.NewID = d.String()
+	u.Repl = d.Bool()
+	u.Policy = d.String()
+}
+
+// apply mutates the store.  It returns the set of context ids created and
+// removed so the replica can adjust its exported ORB objects.
+func (s *store) apply(u *update) (created, removed []string, err error) {
+	ctx, ok := s.ctxs[u.Ctx]
+	if !ok {
+		return nil, nil, fmt.Errorf("names: no context %q", u.Ctx)
+	}
+	switch u.Op {
+	case opBind:
+		if _, exists := ctx.bindings[u.Name]; exists {
+			return nil, nil, errAlreadyBound(u.Name)
+		}
+		ctx.bindings[u.Name] = entry{ref: u.Ref}
+	case opUnbind:
+		e, exists := ctx.bindings[u.Name]
+		if !exists {
+			return nil, nil, errNotFound(u.Name)
+		}
+		delete(ctx.bindings, u.Name)
+		if e.childCtx != "" {
+			removed = s.removeSubtree(e.childCtx, removed)
+		}
+	case opNewContext:
+		if _, exists := ctx.bindings[u.Name]; exists {
+			return nil, nil, errAlreadyBound(u.Name)
+		}
+		s.ctxs[u.NewID] = &ctxNode{
+			id:       u.NewID,
+			repl:     u.Repl,
+			policy:   u.Policy,
+			bindings: make(map[string]entry),
+		}
+		ctx.bindings[u.Name] = entry{childCtx: u.NewID}
+		created = append(created, u.NewID)
+	case opSetSelector:
+		target := ctx
+		if u.Name != "" {
+			e, exists := ctx.bindings[u.Name]
+			if !exists || e.childCtx == "" {
+				return nil, nil, errNotFound(u.Name)
+			}
+			target = s.ctxs[e.childCtx]
+		}
+		if !target.repl {
+			return nil, nil, errNotRepl(target.id)
+		}
+		target.selector = u.Ref
+	default:
+		return nil, nil, fmt.Errorf("names: unknown op %d", u.Op)
+	}
+	return created, removed, nil
+}
+
+// removeSubtree deletes a context and, recursively, the local contexts
+// bound inside it.
+func (s *store) removeSubtree(id string, removed []string) []string {
+	node, ok := s.ctxs[id]
+	if !ok {
+		return removed
+	}
+	delete(s.ctxs, id)
+	removed = append(removed, id)
+	for _, e := range node.bindings {
+		if e.childCtx != "" {
+			removed = s.removeSubtree(e.childCtx, removed)
+		}
+	}
+	return removed
+}
+
+// allocID reserves the next context id (master side).
+func (s *store) allocID() string {
+	s.nextID++
+	return fmt.Sprintf("c%d", s.nextID)
+}
+
+// sortedBindings returns a context's bindings in name order, stable for
+// selectors and listings.
+func (n *ctxNode) sortedBindings() []Binding {
+	out := make([]Binding, 0, len(n.bindings))
+	for name, e := range n.bindings {
+		out = append(out, Binding{Name: name, Ref: e.ref})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ---- snapshot (full-state transfer for lagging or fresh slaves) ----
+
+func (s *store) snapshot() []byte {
+	e := wire.NewEncoder(1024)
+	e.PutInt(s.nextID)
+	ids := make([]string, 0, len(s.ctxs))
+	for id := range s.ctxs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e.PutUint(uint64(len(ids)))
+	for _, id := range ids {
+		n := s.ctxs[id]
+		e.PutString(n.id)
+		e.PutBool(n.repl)
+		e.PutString(n.policy)
+		n.selector.MarshalWire(e)
+		names := make([]string, 0, len(n.bindings))
+		for name := range n.bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		e.PutUint(uint64(len(names)))
+		for _, name := range names {
+			b := n.bindings[name]
+			e.PutString(name)
+			b.ref.MarshalWire(e)
+			e.PutString(b.childCtx)
+		}
+	}
+	return e.Bytes()
+}
+
+func storeFromSnapshot(buf []byte) (*store, error) {
+	d := wire.NewDecoder(buf)
+	s := &store{ctxs: make(map[string]*ctxNode)}
+	s.nextID = d.Int()
+	nctx := d.Count()
+	for i := 0; i < nctx && d.Err() == nil; i++ {
+		n := &ctxNode{bindings: make(map[string]entry)}
+		n.id = d.String()
+		n.repl = d.Bool()
+		n.policy = d.String()
+		n.selector.UnmarshalWire(d)
+		nb := d.Count()
+		for j := 0; j < nb && d.Err() == nil; j++ {
+			name := d.String()
+			var e entry
+			e.ref.UnmarshalWire(d)
+			e.childCtx = d.String()
+			n.bindings[name] = e
+		}
+		s.ctxs[n.id] = n
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if _, ok := s.ctxs[RootContextID]; !ok {
+		return nil, fmt.Errorf("names: snapshot missing root context")
+	}
+	return s, nil
+}
+
+// contextIDs returns all context ids, for object (re)registration.
+func (s *store) contextIDs() []string {
+	ids := make([]string, 0, len(s.ctxs))
+	for id := range s.ctxs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// leafRefs returns every non-context object reference bound anywhere in
+// the name space (replica bindings included) along with the context id and
+// binding name holding it — the audit set (§4.7).
+func (s *store) leafRefs() []auditEntry {
+	var out []auditEntry
+	ids := s.contextIDs()
+	for _, id := range ids {
+		n := s.ctxs[id]
+		for name, e := range n.bindings {
+			if e.childCtx == "" && !e.ref.IsNil() {
+				out = append(out, auditEntry{ctx: id, name: name, ref: e.ref})
+			}
+		}
+	}
+	return out
+}
+
+type auditEntry struct {
+	ctx  string
+	name string
+	ref  oref.Ref
+}

@@ -1,0 +1,282 @@
+package orb
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// clientConn is a pooled connection to one remote endpoint, multiplexing
+// concurrent requests by id.
+type clientConn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *response
+	dead    bool
+	err     error
+}
+
+func newClientConn(conn net.Conn) *clientConn {
+	cc := &clientConn{conn: conn, pending: make(map[uint64]chan *response)}
+	go cc.readLoop()
+	return cc
+}
+
+func (cc *clientConn) readLoop() {
+	for {
+		frame, err := wire.ReadFrame(cc.conn)
+		if err != nil {
+			cc.fail(ErrUnreachable)
+			return
+		}
+		var resp response
+		if err := wire.Unmarshal(frame, &resp); err != nil {
+			cc.fail(ErrUnreachable)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ReqID]
+		delete(cc.pending, resp.ReqID)
+		cc.mu.Unlock()
+		if ok {
+			ch <- &resp
+		}
+	}
+}
+
+// fail marks the connection dead and releases every waiter with err.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	cc.err = err
+	pending := cc.pending
+	cc.pending = map[uint64]chan *response{}
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range pending {
+		ch <- nil
+	}
+}
+
+// roundTrip sends one request and waits for its response or timeout.
+func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*response, error) {
+	ch := make(chan *response, 1)
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.nextID++
+	req.ReqID = cc.nextID
+	cc.pending[req.ReqID] = ch
+	cc.mu.Unlock()
+
+	payload := wire.Marshal(req)
+	cc.writeMu.Lock()
+	err := wire.WriteFrame(cc.conn, payload)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.fail(ErrUnreachable)
+		return nil, ErrUnreachable
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, ErrUnreachable
+		}
+		return resp, nil
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pending, req.ReqID)
+		cc.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+}
+
+// getConn returns a live pooled connection to addr, dialing if needed.
+func (e *Endpoint) getConn(addr string) (*clientConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if cc, ok := e.conns[addr]; ok {
+		cc.mu.Lock()
+		dead := cc.dead
+		cc.mu.Unlock()
+		if !dead {
+			e.mu.Unlock()
+			return cc, nil
+		}
+		delete(e.conns, addr)
+	}
+	e.mu.Unlock()
+
+	conn, err := e.tr.Dial(addr)
+	if err != nil {
+		return nil, ErrUnreachable
+	}
+	cc := newClientConn(conn)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cc.fail(ErrShutdown)
+		return nil, ErrShutdown
+	}
+	if existing, ok := e.conns[addr]; ok {
+		existing.mu.Lock()
+		dead := existing.dead
+		existing.mu.Unlock()
+		if !dead {
+			// Lost the dial race; use the established connection.
+			e.mu.Unlock()
+			cc.fail(ErrShutdown)
+			return existing, nil
+		}
+	}
+	e.conns[addr] = cc
+	e.mu.Unlock()
+	return cc, nil
+}
+
+// Invoke performs a remote method invocation on ref.  put (may be nil)
+// encodes the arguments; get (may be nil) decodes the results.  Failures
+// are reported as ErrUnreachable, ErrInvalidReference, ErrNoSuchMethod, or
+// *AppError; Dead(err) tells the caller whether to re-resolve (§8.2).
+func (e *Endpoint) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if ref.IsNil() {
+		return ErrInvalidReference
+	}
+
+	// Local implementation: a plain dispatch, no network (§3.2: "maps to a
+	// local implementation or to stubs that perform a remote procedure
+	// call").
+	if ref.Addr == e.addr {
+		return e.invokeLocal(ref, method, put, get)
+	}
+
+	enc := wire.NewEncoder(64)
+	if put != nil {
+		put(enc)
+	}
+	req := &request{
+		ObjectID:    ref.ObjectID,
+		Incarnation: ref.Incarnation,
+		Method:      method,
+		Body:        enc.Bytes(),
+	}
+	if a := e.authenticator(); a != nil {
+		principal, ticket, sig, err := a.Sign(req.SigPayload())
+		if err != nil {
+			return Errf(ExcDenied, "signing: %v", err)
+		}
+		req.Principal = principal
+		req.Ticket = ticket
+		req.Sig = sig
+	}
+
+	e.sent.Add(1)
+	cc, err := e.getConn(ref.Addr)
+	if err != nil {
+		e.failures.Add(1)
+		return err
+	}
+	resp, err := cc.roundTrip(req, e.callTimeout)
+	if err != nil {
+		e.failures.Add(1)
+		return err
+	}
+	return decodeResponse(resp, get)
+}
+
+func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	e.mu.Lock()
+	closed := e.closed
+	sk, ok := e.objects[ref.ObjectID]
+	e.mu.Unlock()
+	if closed {
+		return ErrShutdown
+	}
+	if !ok || (ref.Incarnation != e.incarnation && ref.Incarnation != oref.AnyIncarnation) {
+		return ErrInvalidReference
+	}
+	e.localCalls.Add(1)
+	if method == "_ping" {
+		return nil
+	}
+	enc := wire.NewEncoder(64)
+	if put != nil {
+		put(enc)
+	}
+	call := &ServerCall{
+		method:  method,
+		caller:  Caller{Principal: "local", Addr: e.addr, Local: true},
+		args:    wire.NewDecoder(enc.Bytes()),
+		results: wire.NewEncoder(64),
+	}
+	if err := sk.Dispatch(call); err != nil {
+		return err
+	}
+	if call.args.Err() != nil {
+		return Errf(ExcBadArgs, "argument decode: %v", call.args.Err())
+	}
+	if get != nil {
+		d := wire.NewDecoder(call.results.Bytes())
+		if err := get(d); err != nil {
+			return err
+		}
+		if d.Err() != nil {
+			return Errf(ExcBadArgs, "result decode: %v", d.Err())
+		}
+	}
+	return nil
+}
+
+func decodeResponse(resp *response, get func(*wire.Decoder) error) error {
+	switch resp.Status {
+	case statusOK:
+		if get != nil {
+			d := wire.NewDecoder(resp.Body)
+			if err := get(d); err != nil {
+				return err
+			}
+			if d.Err() != nil {
+				return Errf(ExcBadArgs, "result decode: %v", d.Err())
+			}
+		}
+		return nil
+	case statusInvalidRef:
+		return ErrInvalidReference
+	case statusNoSuchMethod:
+		return ErrNoSuchMethod
+	case statusShutdown:
+		return ErrShutdown
+	case statusApp:
+		return &AppError{Name: resp.ErrName, Msg: resp.ErrMsg}
+	default:
+		return Errf("BadStatus", "unknown status %d", resp.Status)
+	}
+}
+
+// Ping probes liveness of the object behind ref using the built-in _ping
+// method.  It reports nil for a live object, ErrInvalidReference for a
+// stale one, and ErrUnreachable for a dead process.
+func (e *Endpoint) Ping(ref oref.Ref) error {
+	return e.Invoke(ref, "_ping", nil, nil)
+}

@@ -1,0 +1,396 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"itv/internal/oref"
+	"itv/internal/transport"
+	"itv/internal/wire"
+)
+
+// Skeleton is the server side of an IDL interface: it dispatches decoded
+// invocations to the implementation.  The per-interface Dispatch switch is
+// what the IDL compiler would generate.
+type Skeleton interface {
+	// TypeID returns the IDL interface name, e.g. "itv.NamingContext".
+	TypeID() string
+	// Dispatch handles one invocation.  Unknown methods return
+	// ErrNoSuchMethod; application exceptions are returned as *AppError.
+	Dispatch(c *ServerCall) error
+}
+
+// Caller identifies the origin of an invocation (§3.3: "when an object
+// method is invoked, the object can securely determine the identity of the
+// caller").
+type Caller struct {
+	// Principal is the authenticated identity, empty when the endpoint has
+	// no authenticator.
+	Principal string
+	// Addr is the network source of the call ("host:port").
+	Addr string
+	// Local is true for same-process virtual-function-call dispatch.
+	Local bool
+}
+
+// Host returns the caller's host (IP) without the port.
+func (c Caller) Host() string {
+	if h, _, err := net.SplitHostPort(c.Addr); err == nil {
+		return h
+	}
+	return c.Addr
+}
+
+// ServerCall carries one invocation through a skeleton.
+type ServerCall struct {
+	method  string
+	caller  Caller
+	args    *wire.Decoder
+	results *wire.Encoder
+}
+
+// Method returns the invoked operation name.
+func (c *ServerCall) Method() string { return c.method }
+
+// Caller returns the invocation's origin.
+func (c *ServerCall) Caller() Caller { return c.caller }
+
+// Args returns the argument decoder.
+func (c *ServerCall) Args() *wire.Decoder { return c.args }
+
+// Results returns the result encoder.
+func (c *ServerCall) Results() *wire.Encoder { return c.results }
+
+// Authenticator hooks call signing into the endpoint; the auth package
+// provides the Kerberos-like implementation (§3.3).  A nil authenticator
+// sends and accepts unsigned calls.
+type Authenticator interface {
+	// Sign produces the principal, ticket and signature for an outgoing
+	// request whose signed payload is given.
+	Sign(payload []byte) (principal string, ticket, sig []byte, err error)
+	// Verify checks an incoming request, returning the verified principal.
+	Verify(principal string, ticket, sig, payload []byte) (string, error)
+}
+
+// Stats counts endpoint activity; E5 (§7.2.1) aggregates these to measure
+// message costs of the audit schemes.
+type Stats struct {
+	Sent       int64 // remote requests issued
+	Received   int64 // remote requests served
+	LocalCalls int64 // same-process short-circuit dispatches
+	Failures   int64 // invocations that raised transport-level failures
+}
+
+// incarnationCounter yields process-unique incarnation timestamps.  It is
+// seeded from the real clock so that independently started OS processes
+// (cmd/itv-server) do not collide.
+var incarnationCounter atomic.Int64
+
+func init() { incarnationCounter.Store(time.Now().UnixNano()) }
+
+// Endpoint is one service process's presence on the network: its listener,
+// its exported objects, and its client-side connection pool.  Closing the
+// endpoint models the process dying — every reference to its objects
+// becomes invalid.
+type Endpoint struct {
+	tr          transport.Transport
+	ln          net.Listener
+	addr        string
+	incarnation int64
+	auth        atomic.Value // Authenticator; set via SetAuthenticator
+	callTimeout time.Duration
+
+	mu      sync.Mutex
+	objects map[string]Skeleton
+	conns   map[string]*clientConn // by remote addr
+	serving map[net.Conn]struct{}
+	closed  bool
+
+	sent       atomic.Int64
+	received   atomic.Int64
+	localCalls atomic.Int64
+	failures   atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewEndpoint opens an endpoint on the transport with an automatically
+// assigned port.  The endpoint serves requests until Close.
+func NewEndpoint(tr transport.Transport) (*Endpoint, error) {
+	ln, addr, err := tr.Listen()
+	if err != nil {
+		return nil, err
+	}
+	return newEndpoint(tr, ln, addr), nil
+}
+
+// NewEndpointOn opens an endpoint on a fixed, well-known port, so that its
+// address survives restarts.  Used by the name service, whose references
+// are the designed exception to reference invalidation (§3.2.1).
+func NewEndpointOn(tr transport.Transport, port int) (*Endpoint, error) {
+	ln, addr, err := tr.ListenOn(port)
+	if err != nil {
+		return nil, err
+	}
+	return newEndpoint(tr, ln, addr), nil
+}
+
+func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint {
+	e := &Endpoint{
+		tr:          tr,
+		ln:          ln,
+		addr:        addr,
+		incarnation: incarnationCounter.Add(1),
+		callTimeout: 10 * time.Second,
+		objects:     make(map[string]Skeleton),
+		conns:       make(map[string]*clientConn),
+		serving:     make(map[net.Conn]struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e
+}
+
+// SetAuthenticator installs the call-signing hook.  It may be called after
+// the endpoint is serving; in-flight requests see either the old or the
+// new authenticator.
+func (e *Endpoint) SetAuthenticator(a Authenticator) { e.auth.Store(&a) }
+
+// authenticator returns the installed hook, or nil.
+func (e *Endpoint) authenticator() Authenticator {
+	if v := e.auth.Load(); v != nil {
+		return *v.(*Authenticator)
+	}
+	return nil
+}
+
+// SetCallTimeout bounds each remote invocation in real time.
+func (e *Endpoint) SetCallTimeout(d time.Duration) { e.callTimeout = d }
+
+// Addr returns the endpoint's "host:port".
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Host returns the endpoint's host identity.
+func (e *Endpoint) Host() string { return e.tr.Host() }
+
+// Incarnation returns the endpoint's incarnation timestamp.
+func (e *Endpoint) Incarnation() int64 { return e.incarnation }
+
+// Stats returns a snapshot of activity counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Sent:       e.sent.Load(),
+		Received:   e.received.Load(),
+		LocalCalls: e.localCalls.Load(),
+		Failures:   e.failures.Load(),
+	}
+}
+
+// Register exports an object under the given id (empty for the process's
+// default object, the common case — §9.2) and returns its reference.
+func (e *Endpoint) Register(objectID string, sk Skeleton) oref.Ref {
+	// TypeID may consult the service's own state (context skeletons do);
+	// evaluate it outside the endpoint lock to keep lock orders acyclic.
+	typeID := sk.TypeID()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.objects[objectID]; dup {
+		panic(fmt.Sprintf("orb: duplicate object id %q", objectID))
+	}
+	e.objects[objectID] = sk
+	return oref.Ref{Addr: e.addr, Incarnation: e.incarnation, TypeID: typeID, ObjectID: objectID}
+}
+
+// Unregister withdraws an object; its references become invalid.  Used for
+// dynamically created objects such as open movies (§9.2).
+func (e *Endpoint) Unregister(objectID string) {
+	e.mu.Lock()
+	delete(e.objects, objectID)
+	e.mu.Unlock()
+}
+
+// RefFor returns the reference for a registered object, or a nil ref.
+func (e *Endpoint) RefFor(objectID string) oref.Ref {
+	e.mu.Lock()
+	sk, ok := e.objects[objectID]
+	e.mu.Unlock()
+	if !ok {
+		return oref.Ref{}
+	}
+	return oref.Ref{Addr: e.addr, Incarnation: e.incarnation, TypeID: sk.TypeID(), ObjectID: objectID}
+}
+
+// Close terminates the endpoint: the listener stops, in-flight connections
+// are severed, and all references to its objects become permanently
+// invalid.  This is the "process crash/halt" of §3.2.1.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	ln := e.ln
+	conns := make([]*clientConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.conns = map[string]*clientConn{}
+	serving := make([]net.Conn, 0, len(e.serving))
+	for c := range e.serving {
+		serving = append(serving, c)
+	}
+	e.mu.Unlock()
+
+	ln.Close()
+	for _, c := range conns {
+		c.fail(ErrShutdown)
+	}
+	for _, c := range serving {
+		c.Close()
+	}
+	e.wg.Wait()
+}
+
+// Closed reports whether the endpoint has been shut down.
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.serving[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+func (e *Endpoint) serveConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.serving, conn)
+		e.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var req request
+		if err := wire.Unmarshal(frame, &req); err != nil {
+			return // protocol violation: drop the connection
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			resp := e.handle(&req, conn.RemoteAddr().String())
+			payload := wire.Marshal(resp)
+			writeMu.Lock()
+			err := wire.WriteFrame(conn, payload)
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+// handle executes one request against the object adapter.
+func (e *Endpoint) handle(req *request, remoteAddr string) *response {
+	e.received.Add(1)
+	resp := &response{ReqID: req.ReqID}
+
+	caller := Caller{Addr: remoteAddr}
+	if a := e.authenticator(); a != nil {
+		principal, err := a.Verify(req.Principal, req.Ticket, req.Sig, req.SigPayload())
+		if err != nil {
+			resp.Status = statusApp
+			resp.ErrName = ExcDenied
+			resp.ErrMsg = err.Error()
+			return resp
+		}
+		caller.Principal = principal
+	} else {
+		caller.Principal = req.Principal
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		resp.Status = statusShutdown
+		return resp
+	}
+	sk, ok := e.objects[req.ObjectID]
+	e.mu.Unlock()
+
+	if (req.Incarnation != e.incarnation && req.Incarnation != oref.AnyIncarnation) || !ok {
+		resp.Status = statusInvalidRef
+		return resp
+	}
+
+	// Built-in liveness probe, available on every object (§7.2's original
+	// ping-based tracking, retained for the E5/E11 comparison).
+	if req.Method == "_ping" {
+		resp.Status = statusOK
+		return resp
+	}
+
+	call := &ServerCall{
+		method:  req.Method,
+		caller:  caller,
+		args:    wire.NewDecoder(req.Body),
+		results: wire.NewEncoder(64),
+	}
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = Errf("ServerPanic", "%v", r)
+			}
+		}()
+		return sk.Dispatch(call)
+	}()
+	if err == nil && call.args.Err() != nil {
+		err = Errf(ExcBadArgs, "argument decode: %v", call.args.Err())
+	}
+	switch {
+	case err == nil:
+		resp.Status = statusOK
+		resp.Body = call.results.Bytes()
+	case err == ErrNoSuchMethod:
+		resp.Status = statusNoSuchMethod
+		resp.ErrMsg = req.Method
+	default:
+		var ae *AppError
+		if errors.As(err, &ae) {
+			resp.Status = statusApp
+			resp.ErrName = ae.Name
+			resp.ErrMsg = ae.Msg
+		} else {
+			resp.Status = statusApp
+			resp.ErrName = "ServerError"
+			resp.ErrMsg = err.Error()
+		}
+	}
+	return resp
+}

@@ -1,0 +1,76 @@
+// Package orb implements the object exchange layer (§3.2): transparent
+// method calls on object references across the network.  Each service
+// process owns an Endpoint, which combines the server side (an object
+// adapter dispatching incoming invocations to registered skeletons) and the
+// client side (connection pooling, request multiplexing, and typed failure
+// reporting that higher layers use to drive rebinding, §8.2).
+package orb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnreachable reports that the implementing process could not be
+// contacted at all — connection refused, host down, or I/O failure.  Like
+// an invalid reference, it signals the client library to re-resolve (§8.2).
+var ErrUnreachable = errors.New("orb: server unreachable")
+
+// ErrInvalidReference reports that the reference's incarnation no longer
+// matches the implementing process, or the object id is no longer
+// registered: the object this reference denoted is gone (§3.2.1).
+var ErrInvalidReference = errors.New("orb: invalid object reference")
+
+// ErrNoSuchMethod reports an invocation of an undefined operation.
+var ErrNoSuchMethod = errors.New("orb: no such method")
+
+// ErrShutdown reports use of a closed endpoint.
+var ErrShutdown = errors.New("orb: endpoint closed")
+
+// AppError is an application-level exception raised by a skeleton and
+// re-raised in the client, identified by a stable name (the IDL exception
+// tag) plus a human-readable message.
+type AppError struct {
+	Name string
+	Msg  string
+}
+
+func (e *AppError) Error() string { return fmt.Sprintf("%s: %s", e.Name, e.Msg) }
+
+// Errf builds an application exception.
+func Errf(name, format string, args ...interface{}) error {
+	return &AppError{Name: name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsApp reports whether err is an application exception with the given name.
+func IsApp(err error, name string) bool {
+	var ae *AppError
+	return errors.As(err, &ae) && ae.Name == name
+}
+
+// AppName returns the exception name if err is an application exception.
+func AppName(err error) (string, bool) {
+	var ae *AppError
+	if errors.As(err, &ae) {
+		return ae.Name, true
+	}
+	return "", false
+}
+
+// Dead reports whether err means the reference's object is gone for good —
+// the condition under which the client library must re-resolve the name
+// rather than retry the same reference (§8.2).
+func Dead(err error) bool {
+	return errors.Is(err, ErrUnreachable) || errors.Is(err, ErrInvalidReference) || errors.Is(err, ErrShutdown)
+}
+
+// Common IDL exception names shared across services.
+const (
+	ExcNotFound     = "NotFound"     // name or resource does not exist
+	ExcAlreadyBound = "AlreadyBound" // bind over an existing binding (§5.2 election)
+	ExcNotContext   = "NotContext"   // path component is not a context
+	ExcBadArgs      = "BadArgs"      // request arguments failed to decode
+	ExcDenied       = "Denied"       // authentication / authorization failure
+	ExcExhausted    = "Exhausted"    // resource admission failure (bandwidth, limits)
+	ExcUnavailable  = "Unavailable"  // service present but cannot serve (e.g. no master)
+)

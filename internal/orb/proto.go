@@ -1,0 +1,87 @@
+package orb
+
+import (
+	"itv/internal/wire"
+)
+
+// Wire status codes for responses.
+const (
+	statusOK uint64 = iota
+	statusInvalidRef
+	statusNoSuchMethod
+	statusApp
+	statusShutdown
+)
+
+// request is the on-wire invocation record.
+type request struct {
+	ReqID       uint64
+	ObjectID    string
+	Incarnation int64
+	Method      string
+	Principal   string
+	Ticket      []byte
+	Sig         []byte
+	Body        []byte
+}
+
+func (r *request) MarshalWire(e *wire.Encoder) {
+	e.PutUint(r.ReqID)
+	e.PutString(r.ObjectID)
+	e.PutInt(r.Incarnation)
+	e.PutString(r.Method)
+	e.PutString(r.Principal)
+	e.PutBytes(r.Ticket)
+	e.PutBytes(r.Sig)
+	e.PutBytes(r.Body)
+}
+
+func (r *request) UnmarshalWire(d *wire.Decoder) {
+	r.ReqID = d.Uint()
+	r.ObjectID = d.String()
+	r.Incarnation = d.Int()
+	r.Method = d.String()
+	r.Principal = d.String()
+	r.Ticket = d.Bytes()
+	r.Sig = d.Bytes()
+	r.Body = d.Bytes()
+}
+
+// SigPayload returns the bytes covered by the per-call signature: the
+// fields that identify the invocation.  ReqID (transport-level, assigned
+// after signing) and Principal are excluded; the principal is bound to the
+// signature by the sealed ticket, which names the principal whose session
+// key produced the HMAC.
+func (r *request) SigPayload() []byte {
+	e := wire.NewEncoder(64 + len(r.Body))
+	e.PutString(r.ObjectID)
+	e.PutInt(r.Incarnation)
+	e.PutString(r.Method)
+	e.PutBytes(r.Body)
+	return e.Bytes()
+}
+
+// response is the on-wire reply record.
+type response struct {
+	ReqID   uint64
+	Status  uint64
+	ErrName string
+	ErrMsg  string
+	Body    []byte
+}
+
+func (r *response) MarshalWire(e *wire.Encoder) {
+	e.PutUint(r.ReqID)
+	e.PutUint(r.Status)
+	e.PutString(r.ErrName)
+	e.PutString(r.ErrMsg)
+	e.PutBytes(r.Body)
+}
+
+func (r *response) UnmarshalWire(d *wire.Decoder) {
+	r.ReqID = d.Uint()
+	r.Status = d.Uint()
+	r.ErrName = d.String()
+	r.ErrMsg = d.String()
+	r.Body = d.Bytes()
+}

@@ -1,0 +1,111 @@
+package orb
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"itv/internal/transport"
+	"itv/internal/wire"
+)
+
+// TestLargePayloadRoundTrip moves a payload near the frame ceiling through
+// one invocation — the kernel-image / application-binary case (§3.4.1).
+func TestLargePayloadRoundTrip(t *testing.T) {
+	_, client, _, ref := newPair(t)
+	payload := bytes.Repeat([]byte{0xAB}, 4<<20)
+	var got string
+	err := client.Invoke(ref, "echo",
+		func(e *wire.Encoder) { e.PutString(string(payload)) },
+		func(d *wire.Decoder) error { got = d.String(); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) || got[0] != 0xAB || got[len(got)-1] != 0xAB {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+// TestConnectionPoolChurn hammers an endpoint that keeps dying and coming
+// back, from many goroutines at once: the pool must never wedge, and every
+// call must end in a definite result.
+func TestConnectionPoolChurn(t *testing.T) {
+	nw := transport.NewNetwork()
+	serverHost := nw.Host("192.168.0.1")
+	client, err := NewEndpoint(nw.Host("10.1.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var mu sync.Mutex
+	var current *Endpoint
+
+	restart := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if current != nil {
+			current.Close()
+		}
+		ep, err := NewEndpoint(serverHost)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ep.Register("", &echoSkel{block: make(chan struct{})})
+		current = ep
+	}
+	restart()
+
+	const workers = 16
+	const callsPerWorker = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsPerWorker; i++ {
+				mu.Lock()
+				r := current.RefFor("")
+				mu.Unlock()
+				err := client.Invoke(r, "echo",
+					func(e *wire.Encoder) { e.PutString("x") },
+					func(d *wire.Decoder) error { _ = d.String(); return nil })
+				// Dead results are expected mid-restart; anything else
+				// must be success.
+				if err != nil && !Dead(err) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Restart the server repeatedly while the workers hammer it.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			mu.Lock()
+			current.Close()
+			mu.Unlock()
+			return
+		default:
+			if i%64 == 0 {
+				restart()
+			}
+		}
+	}
+}
+
+// TestInvokeAfterClientClose verifies a closed client endpoint fails calls
+// with ErrShutdown rather than hanging.
+func TestInvokeAfterClientClose(t *testing.T) {
+	_, client, _, ref := newPair(t)
+	client.Close()
+	err := client.Invoke(ref, "echo", func(e *wire.Encoder) { e.PutString("x") }, nil)
+	if !errors.Is(err, ErrShutdown) {
+		t.Fatalf("err = %v, want ErrShutdown", err)
+	}
+}

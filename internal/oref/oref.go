@@ -1,0 +1,106 @@
+// Package oref defines object references, the handles clients hold on
+// remote objects (§3.2.1).  A reference denotes one particular object: it
+// carries the network address of the implementing process, an incarnation
+// timestamp that prevents use of the reference after that process dies, the
+// object's IDL type for runtime type checks, and the object id
+// distinguishing the object among those the process exports (usually empty,
+// because most services export exactly one object — §9.2).
+package oref
+
+import (
+	"fmt"
+
+	"itv/internal/wire"
+)
+
+// AnyIncarnation marks a persistent reference: one that remains valid
+// across restarts of the implementing process.  The paper makes the name
+// service exactly this exception ("With a few exceptions, notably the name
+// service, object references are only good as long as the implementor of
+// the object reference is alive", §3.2.1): settops receive the name-service
+// address at boot and must keep using it across name-service restarts.
+const AnyIncarnation int64 = -1
+
+// Persistent builds a restart-surviving reference to a well-known object.
+func Persistent(addr, typeID, objectID string) Ref {
+	return Ref{Addr: addr, Incarnation: AnyIncarnation, TypeID: typeID, ObjectID: objectID}
+}
+
+// Ref is an object reference.  The zero value is the nil reference.
+type Ref struct {
+	// Addr is the "host:port" of the server process implementing the
+	// object.  In the simulated cluster, hosts are synthetic IPs.
+	Addr string
+	// Incarnation is a timestamp identifying one lifetime of the
+	// implementing process.  A restarted process has a new incarnation, so
+	// stale references raise ErrInvalidReference rather than reaching the
+	// new process (§3.2.1).
+	Incarnation int64
+	// TypeID names the IDL interface the object implements, e.g.
+	// "itv.NamingContext".
+	TypeID string
+	// ObjectID identifies the object within its process.  Empty means the
+	// process's sole (default) object.
+	ObjectID string
+}
+
+// IsNil reports whether r is the nil reference.
+func (r Ref) IsNil() bool { return r.Addr == "" }
+
+// Equal reports whether two references denote the same object incarnation.
+func (r Ref) Equal(o Ref) bool { return r == o }
+
+// SameObject reports whether two references denote the same object,
+// ignoring incarnation — true for a reference to a restarted service.
+func (r Ref) SameObject(o Ref) bool {
+	return r.Addr == o.Addr && r.ObjectID == o.ObjectID
+}
+
+// Key returns a map key uniquely identifying the object incarnation.
+func (r Ref) Key() string {
+	return fmt.Sprintf("%s#%d/%s", r.Addr, r.Incarnation, r.ObjectID)
+}
+
+// String implements fmt.Stringer.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "<nil-ref>"
+	}
+	return fmt.Sprintf("%s@%s#%d/%s", r.TypeID, r.Addr, r.Incarnation, r.ObjectID)
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r Ref) MarshalWire(e *wire.Encoder) {
+	e.PutString(r.Addr)
+	e.PutInt(r.Incarnation)
+	e.PutString(r.TypeID)
+	e.PutString(r.ObjectID)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *Ref) UnmarshalWire(d *wire.Decoder) {
+	r.Addr = d.String()
+	r.Incarnation = d.Int()
+	r.TypeID = d.String()
+	r.ObjectID = d.String()
+}
+
+// PutRefs encodes a slice of references.
+func PutRefs(e *wire.Encoder, refs []Ref) {
+	e.PutUint(uint64(len(refs)))
+	for _, r := range refs {
+		r.MarshalWire(e)
+	}
+}
+
+// Refs decodes a slice of references.
+func Refs(d *wire.Decoder) []Ref {
+	n := d.Count()
+	out := make([]Ref, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var r Ref
+		r.UnmarshalWire(d)
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package oref
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itv/internal/wire"
+)
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addr, typeID, objID string, inc int64) bool {
+		in := Ref{Addr: addr, Incarnation: inc, TypeID: typeID, ObjectID: objID}
+		var out Ref
+		if err := wire.Unmarshal(wire.Marshal(in), &out); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRef(t *testing.T) {
+	var r Ref
+	if !r.IsNil() {
+		t.Fatal("zero ref not nil")
+	}
+	if r.String() != "<nil-ref>" {
+		t.Fatalf("String = %q", r.String())
+	}
+	r.Addr = "10.1.0.1:99"
+	if r.IsNil() {
+		t.Fatal("addressed ref reported nil")
+	}
+}
+
+func TestSameObjectIgnoresIncarnation(t *testing.T) {
+	a := Ref{Addr: "h:1", Incarnation: 1, TypeID: "itv.MMS"}
+	b := a
+	b.Incarnation = 2
+	if a.Equal(b) {
+		t.Fatal("Equal must distinguish incarnations")
+	}
+	if !a.SameObject(b) {
+		t.Fatal("SameObject must ignore incarnations")
+	}
+	c := b
+	c.ObjectID = "movie-7"
+	if a.SameObject(c) {
+		t.Fatal("SameObject must distinguish object ids")
+	}
+}
+
+func TestKeyDistinguishesIncarnations(t *testing.T) {
+	a := Ref{Addr: "h:1", Incarnation: 1}
+	b := Ref{Addr: "h:1", Incarnation: 2}
+	if a.Key() == b.Key() {
+		t.Fatal("keys collide across incarnations")
+	}
+}
+
+func TestRefSliceRoundTrip(t *testing.T) {
+	in := []Ref{
+		{Addr: "a:1", Incarnation: 5, TypeID: "itv.MDS", ObjectID: ""},
+		{Addr: "b:2", Incarnation: 9, TypeID: "itv.Movie", ObjectID: "m1"},
+		{},
+	}
+	e := wire.NewEncoder(64)
+	PutRefs(e, in)
+	d := wire.NewDecoder(e.Bytes())
+	out := Refs(d)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("ref %d = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRefSliceEmpty(t *testing.T) {
+	e := wire.NewEncoder(8)
+	PutRefs(e, nil)
+	d := wire.NewDecoder(e.Bytes())
+	out := Refs(d)
+	if d.Err() != nil || len(out) != 0 {
+		t.Fatalf("empty slice round-trip: %v err %v", out, d.Err())
+	}
+}

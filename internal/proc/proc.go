@@ -1,0 +1,168 @@
+// Package proc models UNIX service processes (§6.1) without fork/exec: a
+// process is a cancellable group of goroutines plus the teardown actions
+// that make its death observable — closing its ORB endpoints so every
+// reference to its objects becomes invalid, exactly what a real crash does
+// to a process's sockets.
+//
+// The Server Service Controller spawns services as processes, waits on
+// them (the paper's wait()-based monitoring), and restarts them on failure.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrKilled is the exit status of a process terminated by Kill.
+var ErrKilled = errors.New("proc: killed")
+
+// Process is one simulated service process.
+type Process struct {
+	pid  int
+	name string
+
+	mu       sync.Mutex
+	teardown []func()
+	err      error
+	exited   bool
+	done     chan struct{}
+}
+
+// PID returns the process id, unique within its Table.
+func (p *Process) PID() int { return p.pid }
+
+// Name returns the service name the process was spawned for.
+func (p *Process) Name() string { return p.name }
+
+// Done is closed when the process has exited.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+// Exited reports whether the process has exited.
+func (p *Process) Exited() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the exit status: nil for a clean stop requested through
+// Exit(nil), ErrKilled for a kill, or the service's own failure.
+func (p *Process) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// OnKill registers a teardown action to run when the process dies, in
+// reverse registration order.  Services register their endpoints' Close
+// here, which is what invalidates their object references on crash.
+func (p *Process) OnKill(fn func()) {
+	p.mu.Lock()
+	if p.exited {
+		p.mu.Unlock()
+		fn()
+		return
+	}
+	p.teardown = append(p.teardown, fn)
+	p.mu.Unlock()
+}
+
+// Exit terminates the process from inside — the service announcing its own
+// death (a crash when err != nil).  It is idempotent; the first call wins.
+func (p *Process) Exit(err error) {
+	p.mu.Lock()
+	if p.exited {
+		p.mu.Unlock()
+		return
+	}
+	p.exited = true
+	p.err = err
+	td := p.teardown
+	p.teardown = nil
+	p.mu.Unlock()
+	for i := len(td) - 1; i >= 0; i-- {
+		td[i]()
+	}
+	close(p.done)
+}
+
+// Kill terminates the process from outside.
+func (p *Process) Kill() { p.Exit(ErrKilled) }
+
+func (p *Process) String() string {
+	return fmt.Sprintf("proc[%d %s]", p.pid, p.name)
+}
+
+// Table is a per-server process table.
+type Table struct {
+	mu    sync.Mutex
+	next  int
+	procs map[int]*Process
+}
+
+// NewTable returns an empty process table.
+func NewTable() *Table {
+	return &Table{next: 1, procs: make(map[int]*Process)}
+}
+
+// Spawn creates a running process entry.  The caller starts the service's
+// goroutines itself and wires their shutdown through OnKill.
+func (t *Table) Spawn(name string) *Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &Process{pid: t.next, name: name, done: make(chan struct{})}
+	t.next++
+	t.procs[p.pid] = p
+	return p
+}
+
+// Get returns the process with the given pid, or nil.
+func (t *Table) Get(pid int) *Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.procs[pid]
+}
+
+// Reap removes an exited process from the table (the wait() analogue).
+// It reports whether the pid was present and exited.
+func (t *Table) Reap(pid int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok || !p.Exited() {
+		return false
+	}
+	delete(t.procs, pid)
+	return true
+}
+
+// KillAll kills every process in the table — the SSC-crash semantics: all
+// services started by the SSC exit with it (§6.1).
+func (t *Table) KillAll() {
+	t.mu.Lock()
+	procs := make([]*Process, 0, len(t.procs))
+	for _, p := range t.procs {
+		procs = append(procs, p)
+	}
+	t.procs = make(map[int]*Process)
+	t.mu.Unlock()
+	for _, p := range procs {
+		p.Kill()
+	}
+}
+
+// List returns the table's processes sorted by pid.
+func (t *Table) List() []*Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Process, 0, len(t.procs))
+	for _, p := range t.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}

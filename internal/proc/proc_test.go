@@ -1,0 +1,114 @@
+package proc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSpawnAssignsUniquePIDs(t *testing.T) {
+	tb := NewTable()
+	a := tb.Spawn("mds")
+	b := tb.Spawn("rds")
+	if a.PID() == b.PID() {
+		t.Fatal("duplicate pids")
+	}
+	if tb.Get(a.PID()) != a || tb.Get(b.PID()) != b {
+		t.Fatal("Get mismatch")
+	}
+}
+
+func TestExitRunsTeardownInReverseOrder(t *testing.T) {
+	tb := NewTable()
+	p := tb.Spawn("svc")
+	var order []int
+	p.OnKill(func() { order = append(order, 1) })
+	p.OnKill(func() { order = append(order, 2) })
+	p.Exit(nil)
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("teardown order = %v", order)
+	}
+	if !p.Exited() {
+		t.Fatal("not exited")
+	}
+	select {
+	case <-p.Done():
+	default:
+		t.Fatal("Done not closed")
+	}
+}
+
+func TestExitIdempotent(t *testing.T) {
+	tb := NewTable()
+	p := tb.Spawn("svc")
+	failure := errors.New("segfault")
+	p.Exit(failure)
+	p.Exit(nil)
+	p.Kill()
+	if p.Err() != failure {
+		t.Fatalf("Err = %v, want first exit's error", p.Err())
+	}
+}
+
+func TestOnKillAfterExitRunsImmediately(t *testing.T) {
+	tb := NewTable()
+	p := tb.Spawn("svc")
+	p.Kill()
+	ran := false
+	p.OnKill(func() { ran = true })
+	if !ran {
+		t.Fatal("late OnKill not executed")
+	}
+}
+
+func TestKillSetsErrKilled(t *testing.T) {
+	tb := NewTable()
+	p := tb.Spawn("svc")
+	p.Kill()
+	if !errors.Is(p.Err(), ErrKilled) {
+		t.Fatalf("Err = %v", p.Err())
+	}
+}
+
+func TestReap(t *testing.T) {
+	tb := NewTable()
+	p := tb.Spawn("svc")
+	if tb.Reap(p.PID()) {
+		t.Fatal("reaped a running process")
+	}
+	p.Exit(nil)
+	if !tb.Reap(p.PID()) {
+		t.Fatal("failed to reap exited process")
+	}
+	if tb.Get(p.PID()) != nil {
+		t.Fatal("reaped process still in table")
+	}
+	if tb.Reap(p.PID()) {
+		t.Fatal("double reap succeeded")
+	}
+}
+
+func TestKillAll(t *testing.T) {
+	tb := NewTable()
+	a := tb.Spawn("a")
+	b := tb.Spawn("b")
+	tb.KillAll()
+	if !a.Exited() || !b.Exited() {
+		t.Fatal("KillAll left processes running")
+	}
+	if len(tb.List()) != 0 {
+		t.Fatal("table not emptied")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 5; i++ {
+		tb.Spawn("s")
+	}
+	ps := tb.List()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].PID() <= ps[i-1].PID() {
+			t.Fatal("List not sorted by pid")
+		}
+	}
+}

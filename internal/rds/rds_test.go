@@ -1,0 +1,155 @@
+package rds
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"itv/internal/atm"
+	"itv/internal/clock"
+	"itv/internal/core"
+	"itv/internal/names"
+	"itv/internal/orb"
+	"itv/internal/transport"
+)
+
+type fixture struct {
+	t   *testing.T
+	clk *clock.Fake
+	nw  *transport.Network
+	ns  *names.Replica
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := clock.NewFake()
+	nw := transport.NewNetwork()
+	ns, err := names.NewReplica(nw.Host("192.168.0.1"), clk, names.Config{
+		Peers: []string{"192.168.0.1:555"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+	f := &fixture{t: t, clk: clk, nw: nw, ns: ns}
+	f.waitFor("master", ns.IsMaster)
+	return f
+}
+
+func (f *fixture) waitFor(what string, cond func() bool) {
+	f.t.Helper()
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		f.clk.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("condition never held: %s", what)
+}
+
+func (f *fixture) replica(host, scope string) *Service {
+	f.t.Helper()
+	ep, err := orb.NewEndpoint(f.nw.Host(host))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(ep.Close)
+	s := New(core.NewSession(ep, f.ns.RootRef(), f.clk), scope, host)
+	if err := s.Register(); err != nil {
+		f.t.Fatal(err)
+	}
+	return s
+}
+
+func (f *fixture) stubOn(host string) Stub {
+	f.t.Helper()
+	ep, err := orb.NewEndpoint(f.nw.Host(host))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(ep.Close)
+	return NewStub(core.NewSession(ep, f.ns.RootRef(), f.clk))
+}
+
+func TestOpenDataWithoutConnectionManager(t *testing.T) {
+	// With no Connection Manager reachable, downloads proceed at the
+	// nominal rate — availability over precision.
+	f := newFixture(t)
+	r := f.replica("192.168.0.1", "1")
+	payload := bytes.Repeat([]byte{7}, 1024)
+	r.Put("navigator", payload)
+
+	stub := f.stubOn("10.1.0.5")
+	data, rate, err := stub.OpenData("navigator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if rate != DefaultDownloadRate {
+		t.Fatalf("rate = %d, want nominal %d", rate, DefaultDownloadRate)
+	}
+	// §9.3: 2–4 MB at 1 MB/s takes 2–4 s; verify the arithmetic holds for
+	// this payload too.
+	if d := atm.TransferTime(int64(len(payload)), rate); d != time.Duration(1024*8)*time.Second/time.Duration(DefaultDownloadRate) {
+		t.Fatalf("transfer time = %v", d)
+	}
+}
+
+func TestNeighborhoodRouting(t *testing.T) {
+	f := newFixture(t)
+	r1 := f.replica("192.168.0.1", "1")
+	r2 := f.replica("192.168.0.2", "2")
+	r1.Put("app", []byte("one"))
+	r2.Put("app", []byte("two"))
+
+	got, _, err := f.stubOn("10.1.0.9").OpenData("app")
+	if err != nil || string(got) != "one" {
+		t.Fatalf("nbhd 1 = %q, %v", got, err)
+	}
+	got, _, err = f.stubOn("10.2.0.9").OpenData("app")
+	if err != nil || string(got) != "two" {
+		t.Fatalf("nbhd 2 = %q, %v", got, err)
+	}
+}
+
+func TestMissingItem(t *testing.T) {
+	f := newFixture(t)
+	f.replica("192.168.0.1", "1")
+	_, _, err := f.stubOn("10.1.0.5").OpenData("ghost")
+	if !orb.IsApp(err, orb.ExcNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestItems(t *testing.T) {
+	f := newFixture(t)
+	r := f.replica("192.168.0.1", "1")
+	r.Put("a", []byte("1"))
+	r.Put("b", []byte("2"))
+	if n := len(r.Items()); n != 2 {
+		t.Fatalf("items = %d", n)
+	}
+}
+
+func TestReplicaReplacementAfterRestart(t *testing.T) {
+	// §9.5's workflow for the RDS: a replaced replica re-registers and the
+	// settop's rebinding stub recovers.
+	f := newFixture(t)
+	r1 := f.replica("192.168.0.1", "1")
+	r1.Put("app", []byte("v1"))
+	stub := f.stubOn("10.1.0.5")
+	if _, _, err := stub.OpenData("app"); err != nil {
+		t.Fatal(err)
+	}
+	r1.sess.Ep.Close() // crash
+
+	r2 := f.replica("192.168.0.1", "1") // restarted instance, fresh refs
+	r2.Put("app", []byte("v2"))
+	got, _, err := stub.OpenData("app")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("post-restart = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,76 @@
+package settop
+
+import (
+	"testing"
+
+	"itv/internal/clock"
+	"itv/internal/transport"
+)
+
+// The settop's full behaviour — boot, downloads, playback, crash recovery —
+// is exercised end-to-end by the cluster integration suite
+// (internal/cluster); these tests cover the standalone state machine.
+
+func newSettop(t *testing.T) *Settop {
+	t.Helper()
+	nw := transport.NewNetwork()
+	return New(nw.Host("10.3.0.17"), clock.NewFake(), "192.168.0.1:554")
+}
+
+func TestNeighborhoodDerivation(t *testing.T) {
+	st := newSettop(t)
+	if st.Neighborhood() != "3" {
+		t.Fatalf("neighborhood = %q", st.Neighborhood())
+	}
+	if st.Host() != "10.3.0.17" {
+		t.Fatalf("host = %q", st.Host())
+	}
+}
+
+func TestOperationsRequireBoot(t *testing.T) {
+	st := newSettop(t)
+	if st.Up() {
+		t.Fatal("powered-off settop reports up")
+	}
+	if _, err := st.DownloadApp("navigator"); err == nil {
+		t.Fatal("download without boot succeeded")
+	}
+	if err := st.OpenMovie("T2"); err == nil {
+		t.Fatal("open without boot succeeded")
+	}
+	if _, _, err := st.PollPlayback(); err == nil {
+		t.Fatal("poll without playback succeeded")
+	}
+	if err := st.RecoverPlayback(); err == nil {
+		t.Fatal("recover without playback succeeded")
+	}
+	// Closing with nothing playing is a no-op.
+	if err := st.CloseMovie(); err != nil {
+		t.Fatalf("idle close: %v", err)
+	}
+	// Crashing a powered-off settop is a no-op.
+	st.Crash()
+}
+
+func TestBootFailsWithoutHeadEnd(t *testing.T) {
+	st := newSettop(t)
+	if _, err := st.Boot(); err == nil {
+		t.Fatal("boot succeeded with no boot service")
+	}
+	if st.Up() {
+		t.Fatal("failed boot left settop up")
+	}
+}
+
+func TestPlaybackStateAccessors(t *testing.T) {
+	st := newSettop(t)
+	if _, ok := st.Playback(); ok {
+		t.Fatal("phantom playback")
+	}
+	if st.CurrentApp() != "" {
+		t.Fatal("phantom app")
+	}
+	if st.Session() != nil {
+		t.Fatal("session before boot")
+	}
+}

@@ -1,0 +1,111 @@
+package settopmgr
+
+import (
+	"testing"
+	"time"
+
+	"itv/internal/clock"
+	"itv/internal/orb"
+	"itv/internal/transport"
+)
+
+func newManager(t *testing.T) (*Manager, *clock.Fake, *transport.Network) {
+	t.Helper()
+	clk := clock.NewFake()
+	nw := transport.NewNetwork()
+	m, err := New(nw.Host("192.168.0.1"), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, clk, nw
+}
+
+func TestUnknownSettopReportedUp(t *testing.T) {
+	m, _, _ := newManager(t)
+	if !m.Up("10.1.0.99") {
+		t.Fatal("unknown settop reported down")
+	}
+}
+
+func TestHeartbeatKeepsSettopUp(t *testing.T) {
+	m, clk, _ := newManager(t)
+	m.Heartbeat("10.1.0.5")
+	clk.Advance(5 * time.Second)
+	if !m.Up("10.1.0.5") {
+		t.Fatal("settop down within timeout")
+	}
+	clk.Advance(6 * time.Second) // 11s total > 10s timeout
+	if m.Up("10.1.0.5") {
+		t.Fatal("settop still up past timeout")
+	}
+	// A fresh heartbeat revives it (reboot).
+	m.Heartbeat("10.1.0.5")
+	if !m.Up("10.1.0.5") {
+		t.Fatal("settop not revived by heartbeat")
+	}
+}
+
+func TestMarkDown(t *testing.T) {
+	m, _, _ := newManager(t)
+	m.Heartbeat("10.2.0.7")
+	m.MarkDown("10.2.0.7")
+	if m.Up("10.2.0.7") {
+		t.Fatal("marked-down settop reported up")
+	}
+	m.MarkDown("10.3.0.1") // never seen: still works
+	if m.Up("10.3.0.1") {
+		t.Fatal("marked-down unknown settop reported up")
+	}
+}
+
+func TestCustomTimeout(t *testing.T) {
+	m, clk, _ := newManager(t)
+	m.SetHeartbeatTimeout(2 * time.Second)
+	m.Heartbeat("10.1.0.5")
+	clk.Advance(3 * time.Second)
+	if m.Up("10.1.0.5") {
+		t.Fatal("custom timeout not applied")
+	}
+}
+
+func TestRemoteHeartbeatUsesCallerAddress(t *testing.T) {
+	m, clk, nw := newManager(t)
+	settop, err := orb.NewEndpoint(nw.Host("10.4.0.17"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer settop.Close()
+	stub := Stub{Ep: settop, Ref: RefAt("192.168.0.1")}
+	if err := stub.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Up("10.4.0.17") || m.Known() != 1 {
+		t.Fatal("heartbeat not attributed to caller's address")
+	}
+	clk.Advance(11 * time.Second)
+	st, err := stub.Status([]string{"10.4.0.17", "10.9.9.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 || st[0] || !st[1] {
+		t.Fatalf("status = %v, want [false true]", st)
+	}
+}
+
+func TestRemoteMarkDown(t *testing.T) {
+	m, _, nw := newManager(t)
+	client, err := orb.NewEndpoint(nw.Host("192.168.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stub := Stub{Ep: client, Ref: m.Ref()}
+	if err := stub.MarkDown("10.1.0.8"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := stub.Status([]string{"10.1.0.8"})
+	if err != nil || len(st) != 1 || st[0] {
+		t.Fatalf("status after markDown = %v, %v", st, err)
+	}
+}

@@ -1,0 +1,37 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// TCP returns a Transport backed by the operating system's loopback TCP
+// stack.  All hosts share the loopback address, so IP-derived selectors are
+// not meaningful over this transport; it exists to run real multi-process
+// deployments (cmd/itv-server).
+func TCP() Transport { return tcpTransport{} }
+
+type tcpTransport struct{}
+
+func (tcpTransport) Host() string { return "127.0.0.1" }
+
+func (tcpTransport) Listen() (net.Listener, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return ln, ln.Addr().String(), nil
+}
+
+func (tcpTransport) ListenOn(port int) (net.Listener, string, error) {
+	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, "", err
+	}
+	return ln, ln.Addr().String(), nil
+}
+
+func (tcpTransport) Dial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}

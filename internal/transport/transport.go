@@ -1,0 +1,31 @@
+// Package transport abstracts the network under the object exchange layer
+// so the same ORB code runs over real TCP (the deployment configuration,
+// §3.1) or over an in-memory network of synthetic hosts (the test-bed
+// configuration, where thousands of settops and injected partitions are
+// practical).
+//
+// Addresses are "host:port" strings throughout.  On the in-memory network,
+// hosts are synthetic IPs such as "192.168.0.1" (servers) and "10.3.0.17"
+// (settops, with the second octet naming the neighborhood, §3.1).
+package transport
+
+import "net"
+
+// Transport is one host's view of the network.  Each server node and each
+// settop holds a Transport bound to its own address identity; the caller's
+// address is visible to callees, which is how IP-derived selectors and
+// neighborhood partitioning work (§5.1).
+type Transport interface {
+	// Listen opens a listener on this host with an automatically assigned
+	// port and returns it along with its full "host:port" address.
+	Listen() (net.Listener, string, error)
+	// ListenOn opens a listener on a specific port.  Well-known services —
+	// notably the name service, whose address settops receive at boot
+	// (§3.4.1) — listen on fixed ports so their addresses survive process
+	// restarts.
+	ListenOn(port int) (net.Listener, string, error)
+	// Dial connects to addr.
+	Dial(addr string) (net.Conn, error)
+	// Host returns this transport's host identity (IP without port).
+	Host() string
+}

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64} {
+		e := NewEncoder(16)
+		e.PutUint(v)
+		d := NewDecoder(e.Bytes())
+		if got := d.Uint(); got != v || d.Err() != nil {
+			t.Fatalf("Uint(%d) round-trip = %d, err %v", v, got, d.Err())
+		}
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(16)
+		e.PutInt(v)
+		d := NewDecoder(e.Bytes())
+		return d.Int() == v && d.Err() == nil && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		e := NewEncoder(16)
+		e.PutFloat(v)
+		d := NewDecoder(e.Bytes())
+		got := d.Float()
+		if d.Err() != nil {
+			return false
+		}
+		// NaN compares unequal to itself; compare bit patterns instead.
+		return math.Float64bits(got) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringBytesRoundTripProperty(t *testing.T) {
+	f := func(s string, b []byte) bool {
+		e := NewEncoder(64)
+		e.PutString(s)
+		e.PutBytes(b)
+		d := NewDecoder(e.Bytes())
+		gs := d.String()
+		gb := d.Bytes()
+		return d.Err() == nil && gs == s && bytes.Equal(gb, b) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringsRoundTrip(t *testing.T) {
+	in := []string{"", "a", "svc/mds/forge", "日本語"}
+	e := NewEncoder(64)
+	e.PutStrings(in)
+	d := NewDecoder(e.Bytes())
+	out := d.Strings()
+	if d.Err() != nil || len(out) != len(in) {
+		t.Fatalf("Strings round-trip: %v err %v", out, d.Err())
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("element %d = %q, want %q", i, out[i], in[i])
+		}
+	}
+}
+
+func TestStringMapRoundTrip(t *testing.T) {
+	in := map[string]string{"cmgr": "1", "mds": "forge", "": "empty-key"}
+	e := NewEncoder(64)
+	e.PutStringMap(in)
+	d := NewDecoder(e.Bytes())
+	out := d.StringMap()
+	if d.Err() != nil || len(out) != len(in) {
+		t.Fatalf("StringMap round-trip: %v err %v", out, d.Err())
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, out[k], v)
+		}
+	}
+}
+
+func TestBoolRoundTripAndInvalid(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutBool(true)
+	e.PutBool(false)
+	d := NewDecoder(e.Bytes())
+	if !d.Bool() || d.Bool() || d.Err() != nil {
+		t.Fatal("bool round-trip failed")
+	}
+	bad := NewDecoder([]byte{7})
+	bad.Bool()
+	if bad.Err() == nil {
+		t.Fatal("invalid bool byte not rejected")
+	}
+}
+
+func TestDecoderLatchesError(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.Uint() // truncated
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected truncation error")
+	}
+	_ = d.String()
+	_ = d.Bool()
+	if d.Err() != first {
+		t.Fatal("error not latched")
+	}
+}
+
+func TestTruncatedString(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutString("hello")
+	buf := e.Bytes()[:3]
+	d := NewDecoder(buf)
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("truncated string not detected")
+	}
+}
+
+func TestHostileCollectionLength(t *testing.T) {
+	// A varint claiming 2^40 elements must be rejected, not allocated.
+	e := NewEncoder(16)
+	e.PutUint(1 << 40)
+	d := NewDecoder(e.Bytes())
+	if got := d.Strings(); got != nil || d.Err() == nil {
+		t.Fatalf("hostile length accepted: %v, err %v", got, d.Err())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the quick brown fox")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %q, want %q", got, payload)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %v, err %v", got, err)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err != ErrTooLarge {
+		t.Fatalf("oversize write err = %v, want ErrTooLarge", err)
+	}
+	// Hostile header.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err != ErrTooLarge {
+		t.Fatalf("oversize read err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	short := bytes.NewReader(buf.Bytes()[:buf.Len()-2])
+	if _, err := ReadFrame(short); err == nil {
+		t.Fatal("short frame not detected")
+	}
+}
+
+func TestMarshalUnmarshalTrailing(t *testing.T) {
+	type pair struct{ a, b string }
+	_ = pair{}
+	e := NewEncoder(16)
+	e.PutString("x")
+	e.PutUint(9) // trailing garbage from the Unmarshaler's point of view
+	err := Unmarshal(e.Bytes(), unmarshalerFunc(func(d *Decoder) { _ = d.String() }))
+	if err == nil {
+		t.Fatal("trailing bytes not rejected")
+	}
+}
+
+type unmarshalerFunc func(*Decoder)
+
+func (f unmarshalerFunc) UnmarshalWire(d *Decoder) { f(d) }
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutString("abc")
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.PutUint(5)
+	d := NewDecoder(e.Bytes())
+	if d.Uint() != 5 || d.Err() != nil {
+		t.Fatal("encoder unusable after Reset")
+	}
+}
+
+func TestMixedSequenceRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutBool(true)
+	e.PutInt(-42)
+	e.PutUint(42)
+	e.PutFloat(3.5)
+	e.PutString("movie/T2")
+	e.PutBytes([]byte{0, 1, 2})
+	d := NewDecoder(e.Bytes())
+	if !d.Bool() || d.Int() != -42 || d.Uint() != 42 || d.Float() != 3.5 ||
+		d.String() != "movie/T2" || !bytes.Equal(d.Bytes(), []byte{0, 1, 2}) {
+		t.Fatal("mixed sequence mismatch")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err %v remaining %d", d.Err(), d.Remaining())
+	}
+}
