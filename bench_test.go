@@ -190,6 +190,32 @@ func BenchmarkE14NewService(b *testing.B) {
 
 // ---- micro-benchmarks of the substrate hot paths ----
 
+// netStats samples the client transport's obs counters before the timed
+// loop and reports the per-operation wire cost (bytes and frames sent)
+// afterwards.  The counters are process-global per host, so only the delta
+// across the benchmark is meaningful.
+type netStats struct {
+	src    transport.StatsSource
+	before transport.Stats
+}
+
+func startNetStats(tr transport.Transport) *netStats {
+	src, ok := tr.(transport.StatsSource)
+	if !ok {
+		return nil
+	}
+	return &netStats{src: src, before: src.Stats()}
+}
+
+func (s *netStats) report(b *testing.B) {
+	if s == nil {
+		return
+	}
+	d := s.src.Stats().Sub(s.before)
+	b.ReportMetric(float64(d.BytesSent)/float64(b.N), "wire_B/op")
+	b.ReportMetric(float64(d.FramesSent)/float64(b.N), "frames/op")
+}
+
 // BenchmarkORBInvoke measures one remote method invocation round trip over
 // the in-memory transport — the "quite fast" resolve/invoke cost the paper
 // leans on in §8.2.
@@ -200,13 +226,15 @@ func BenchmarkORBInvoke(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer server.Close()
-	client, err := orb.NewEndpoint(nw.Host("10.1.0.5"))
+	clientTr := nw.Host("10.1.0.5")
+	client, err := orb.NewEndpoint(clientTr)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer client.Close()
 	ref := server.Register("", benchEcho{})
 
+	stats := startNetStats(clientTr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := client.Invoke(ref, "echo",
@@ -216,6 +244,8 @@ func BenchmarkORBInvoke(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	stats.report(b)
 }
 
 // BenchmarkLocalInvoke measures the same-process short-circuit dispatch.
@@ -256,7 +286,8 @@ func BenchmarkORBInvokeSigned(b *testing.B) {
 	ref := server.Register("", benchEcho{})
 
 	key := svc.Enroll("settop/10.1.0.5")
-	client, err := orb.NewEndpoint(nw.Host("10.1.0.5"))
+	clientTr := nw.Host("10.1.0.5")
+	client, err := orb.NewEndpoint(clientTr)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,6 +295,7 @@ func BenchmarkORBInvokeSigned(b *testing.B) {
 	client.SetAuthenticator(auth.NewSigner("settop/10.1.0.5", key, clk,
 		func() ([]byte, []byte, error) { return svc.IssueTicket("settop/10.1.0.5") }))
 
+	stats := startNetStats(clientTr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := client.Invoke(ref, "echo",
@@ -273,6 +305,8 @@ func BenchmarkORBInvokeSigned(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	stats.report(b)
 }
 
 type benchEcho struct{}

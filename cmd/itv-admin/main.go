@@ -10,6 +10,7 @@
 //	itv-admin [-ns host:port] stop <host> <svc>
 //	itv-admin [-ns host:port] start <host> <svc>
 //	itv-admin [-ns host:port] move <svc> <host,...>
+//	itv-admin metrics <host:port>             # scrape a node's obs registry
 package main
 
 import (
@@ -141,6 +142,19 @@ func main() {
 		for _, u := range report {
 			fmt.Printf("%-18s %8d %8d %14.1f\n", u.Settop, u.Opened, u.Denied, u.MbitSeconds)
 		}
+
+	case "metrics":
+		// Scrape any ORB endpoint's node registry over the wire (the
+		// built-in _metrics operation; works against servers that never
+		// opened a debug HTTP port).
+		if len(args) < 2 {
+			log.Fatal("usage: metrics <host:port>")
+		}
+		text, err := ep.MetricsOf(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
 
 	case "move":
 		if len(args) < 3 {

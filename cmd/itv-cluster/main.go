@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"itv/internal/cluster"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/settop"
 )
@@ -24,8 +25,19 @@ func main() {
 	minutes := flag.Int("minutes", 10, "simulated minutes to run")
 	chaos := flag.Bool("chaos", false, "inject service kills and settop crashes")
 	seed := flag.Int64("seed", 1995, "random seed")
+	debugAddr := flag.String("debug", "", "serve cluster-wide /metrics, /healthz and /debug/pprof on this address")
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *debugAddr != "" {
+		// The simulated servers all live in this process, so one endpoint
+		// exposes every node's registry, grouped by host.
+		addr, err := obs.ServeDebug(*debugAddr, obs.WriteAllNodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debug server on http://%s/metrics\n", addr)
+	}
 
 	c := cluster.New(cluster.Orlando())
 	fmt.Println("booting the Orlando cluster (3 servers, 6 neighborhoods)...")

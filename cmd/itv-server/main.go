@@ -31,6 +31,7 @@ import (
 	"itv/internal/media"
 	"itv/internal/mms"
 	"itv/internal/names"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/proc"
@@ -44,11 +45,22 @@ import (
 func main() {
 	dbPath := flag.String("db", "itv-server.db", "database log file (persistent across restarts)")
 	name := flag.String("name", "forge", "server name (Fig. 4's forge/kiln)")
+	debugAddr := flag.String("debug", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
 
 	tr := transport.TCP()
 	clk := clock.Real()
 	host := tr.Host()
+
+	if *debugAddr != "" {
+		// Every service on this node shares the host registry, so one
+		// scrape covers the ORB, transport, names, RAS and SSC counters.
+		addr, err := obs.ServeDebug(*debugAddr, obs.Node(host).WriteText)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		fmt.Printf("debug server on http://%s/metrics\n", addr)
+	}
 
 	// §6.3 step 1: the SSC comes up first.
 	ctl, err := ssc.New(tr, clk)

@@ -1,11 +1,14 @@
 package audit
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
 
 	"itv/internal/clock"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/proc"
@@ -408,6 +411,119 @@ func TestLeaseTable(t *testing.T) {
 	}
 	if lt.Renew("conn-1") {
 		t.Fatal("expired lease renewed")
+	}
+}
+
+// measurePeerRPCs builds an n-server cluster where every RAS tracks one
+// remote object on each other server (the worst case of §7.1: every server
+// holds resources for entities everywhere), runs the peer-polling loop for
+// several rounds, and returns the cluster-wide number of peer-status RPCs
+// per poll round, measured as obs counter deltas.  settops extra settop
+// entities are registered on server 0 to show the per-round network cost
+// does not depend on client count.
+func measurePeerRPCs(t *testing.T, n, settops int) float64 {
+	t.Helper()
+	f := newFixture(t, n)
+	refs := make([]oref.Ref, n)
+	for i, s := range f.servers {
+		refs[i] = f.startEcho(s, "echo")
+	}
+	for i, s := range f.servers {
+		for j := range f.servers {
+			if j != i && !check1(t, s.ras, refs[j]) {
+				t.Fatal("fresh remote object reported dead")
+			}
+		}
+	}
+	for k := 0; k < settops; k++ {
+		addr := fmt.Sprintf("10.7.0.%d", k+1)
+		f.servers[0].mgr.Heartbeat(addr)
+		if !check1(t, f.servers[0].ras, SettopRef(addr)) {
+			t.Fatal("live settop reported dead")
+		}
+	}
+
+	// obs.Node registries are process-global and accumulate across tests
+	// that reuse the synthetic 192.168.0.x addresses, so all assertions
+	// are on before/after deltas.
+	type sampled struct{ rpcs, rounds int64 }
+	sample := func() []sampled {
+		out := make([]sampled, n)
+		for i := range out {
+			reg := obs.Node(serverIP(i))
+			out[i] = sampled{
+				rpcs:   reg.Counter("ras_peer_rpcs").Value(),
+				rounds: reg.Counter("ras_poll_rounds").Value(),
+			}
+		}
+		return out
+	}
+	latency := obs.Node(serverIP(0)).Histogram(
+		obs.L("orb_call_latency", "method", TypeID+".localStatus"))
+	latencyBefore := latency.Count()
+	before := sample()
+	const rounds = 8
+	f.waitFor("poll rounds elapsed", func() bool {
+		cur := sample()
+		for i := range cur {
+			if cur[i].rounds-before[i].rounds < rounds {
+				return false
+			}
+		}
+		return true
+	})
+	// The clock is no longer advancing; give any in-flight poll a moment
+	// to finish counting its RPCs before the final sample.
+	time.Sleep(5 * time.Millisecond)
+	after := sample()
+
+	// The client-side ORB records a per-method latency histogram for the
+	// peer-status calls server 0 made.
+	if d := latency.Count() - latencyBefore; d < rounds {
+		t.Fatalf("localStatus latency histogram grew by %d, want >= %d", d, rounds)
+	}
+
+	var total float64
+	for i := range after {
+		dRounds := after[i].rounds - before[i].rounds
+		dRPCs := after[i].rpcs - before[i].rpcs
+		if dRounds == 0 {
+			t.Fatalf("server %d made no poll rounds", i)
+		}
+		total += float64(dRPCs) / float64(dRounds)
+	}
+	return total
+}
+
+// TestAuditMessageComplexity reproduces the scalability claim behind the
+// §7.1 design choice: the audit scheme's network cost is one peer-status
+// RPC per (server, other-server) pair per round — O(servers²) — and is
+// independent of how many settops hold resources.
+func TestAuditMessageComplexity(t *testing.T) {
+	var r2, r2Settops, r4 float64
+	// Run each cluster in a subtest so its services are torn down (and its
+	// fake clock frozen) before the next cluster reuses the same hosts.
+	t.Run("n2", func(t *testing.T) { r2 = measurePeerRPCs(t, 2, 0) })
+	t.Run("n2settops", func(t *testing.T) { r2Settops = measurePeerRPCs(t, 2, 8) })
+	t.Run("n4", func(t *testing.T) { r4 = measurePeerRPCs(t, 4, 0) })
+
+	near := func(got, want float64) bool {
+		return math.Abs(got-want) <= 0.2*want+0.1
+	}
+	if !near(r2, 2) { // n(n-1) = 2·1
+		t.Errorf("2-server cluster: %.2f peer RPCs/round, want ~2", r2)
+	}
+	if !near(r4, 12) { // n(n-1) = 4·3
+		t.Errorf("4-server cluster: %.2f peer RPCs/round, want ~12", r4)
+	}
+	// Quadratic growth in servers: 4 servers cost ~6x what 2 servers do.
+	if ratio := r4 / r2; math.Abs(ratio-6) > 1.2 {
+		t.Errorf("4-server/2-server RPC ratio = %.2f, want ~6 (O(servers^2))", ratio)
+	}
+	// Independence from client count: adding settops does not change the
+	// server-to-server message rate (§7.1's argument for the RAS design).
+	if math.Abs(r2Settops-r2) > 0.5 {
+		t.Errorf("peer RPCs/round changed with settops: %.2f vs %.2f", r2Settops, r2)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"itv/internal/clock"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/settopmgr"
@@ -81,6 +82,15 @@ type Service struct {
 	settops   map[string]*entity // settop host -> status
 	sscOK     bool
 
+	// Cached node counters; ras_peer_rpcs is what the O(servers²) audit
+	// scalability test measures (§7.2.1).
+	pollRounds   *obs.Counter
+	peerRPCs     *obs.Counter
+	peerRPCErrs  *obs.Counter
+	deadDeclared *obs.Counter
+	remoteGauge  *obs.Gauge
+	settopGauge  *obs.Gauge
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -94,16 +104,23 @@ func New(tr transport.Transport, clk clock.Clock, cfg Config) (*Service, error) 
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.Node(tr.Host())
 	s := &Service{
-		clk:       clk,
-		cfg:       cfg,
-		ep:        ep,
-		host:      tr.Host(),
-		localLive: make(map[string]bool),
-		remote:    make(map[string]*entity),
-		settops:   make(map[string]*entity),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		clk:          clk,
+		cfg:          cfg,
+		ep:           ep,
+		host:         tr.Host(),
+		localLive:    make(map[string]bool),
+		remote:       make(map[string]*entity),
+		settops:      make(map[string]*entity),
+		pollRounds:   reg.Counter("ras_poll_rounds"),
+		peerRPCs:     reg.Counter("ras_peer_rpcs"),
+		peerRPCErrs:  reg.Counter("ras_peer_rpc_failures"),
+		deadDeclared: reg.Counter("ras_dead_declared"),
+		remoteGauge:  reg.Gauge("ras_remote_entities"),
+		settopGauge:  reg.Gauge("ras_settop_entities"),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	ep.Register("", &skel{s: s})
 	ep.Register("callback", ssc.CallbackFunc(s.objectsChanged))
@@ -235,6 +252,7 @@ func (s *Service) run() {
 }
 
 func (s *Service) poll() {
+	s.pollRounds.Inc()
 	s.mu.Lock()
 	if !s.sscOK {
 		s.mu.Unlock()
@@ -281,10 +299,14 @@ func (s *Service) poll() {
 		}
 		s.mu.Lock()
 		for i, en := range ents {
+			was := en.alive
 			if err != nil {
 				en.alive = false
 			} else if i < len(alive) {
 				en.alive = en.alive && alive[i] // death is permanent per incarnation
+			}
+			if was && !en.alive {
+				s.deadDeclared.Inc()
 			}
 		}
 		s.mu.Unlock()
@@ -298,16 +320,29 @@ func (s *Service) poll() {
 			s.mu.Lock()
 			for i, en := range settopEnts {
 				if i < len(up) {
+					if en.alive && !up[i] {
+						s.deadDeclared.Inc()
+					}
 					en.alive = up[i]
 				}
 			}
 			s.mu.Unlock()
 		}
 	}
+
+	s.mu.Lock()
+	s.remoteGauge.Set(int64(len(s.remote)))
+	s.settopGauge.Set(int64(len(s.settops)))
+	s.mu.Unlock()
 }
 
 func (s *Service) peerLocalStatus(host string, refs []oref.Ref) ([]bool, error) {
-	return (Stub{Ep: s.ep, Ref: RefAt(host)}).LocalStatus(refs)
+	s.peerRPCs.Inc()
+	alive, err := (Stub{Ep: s.ep, Ref: RefAt(host)}).LocalStatus(refs)
+	if err != nil {
+		s.peerRPCErrs.Inc()
+	}
+	return alive, err
 }
 
 func refHost(addr string) string {

@@ -13,6 +13,7 @@ import (
 	"itv/internal/media"
 	"itv/internal/mms"
 	"itv/internal/names"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/proc"
@@ -63,6 +64,10 @@ func (s *Server) NS() *names.Replica { s.mu.Lock(); defer s.mu.Unlock(); return 
 
 // RAS returns the server's Resource Audit Service.
 func (s *Server) RAS() *audit.Service { s.mu.Lock(); defer s.mu.Unlock(); return s.ras }
+
+// Metrics returns this server's node registry — the same snapshot the
+// _metrics RPC serves, available in-process for tests and experiments.
+func (s *Server) Metrics() *obs.Registry { return obs.Node(s.Spec.Host) }
 
 // Mgr returns the server's Settop Manager.
 func (s *Server) Mgr() *settopmgr.Manager { s.mu.Lock(); defer s.mu.Unlock(); return s.mgr }

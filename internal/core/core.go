@@ -134,6 +134,10 @@ func (rb *Rebinder) Invoke(method string, put func(*wire.Encoder), get func(*wir
 			return err
 		}
 		lastErr = err
+		// The §8.2 moment: the reference is dead, go back to the name
+		// service.  This counter is the rebind-rate evidence the fail-over
+		// measurements (§9.7) report against.
+		rb.s.Ep.Metrics().Counter("core_rebinds").Inc()
 		rb.Invalidate()
 	}
 	return lastErr

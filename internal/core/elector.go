@@ -141,6 +141,7 @@ func (e *Elector) attempt() {
 		e.primary = false
 		demoted := e.OnDemoted
 		e.mu.Unlock()
+		e.s.Ep.Metrics().Counter("core_elector_demotions").Inc()
 		if demoted != nil {
 			demoted()
 		}
@@ -154,6 +155,7 @@ func (e *Elector) attempt() {
 		e.primary = true
 		promoted := e.OnPrimary
 		e.mu.Unlock()
+		e.s.Ep.Metrics().Counter("core_elector_promotions").Inc()
 		if promoted != nil {
 			promoted()
 		}

@@ -205,6 +205,11 @@ func (c *Controller) reconcile() {
 	for _, host := range servers {
 		stub := ssc.Stub{Ep: c.sess.Ep, Ref: ssc.RefAt(host)}
 		running, err := stub.Running()
+		if err == nil {
+			c.sess.Ep.Metrics().Counter("csc_pings_ok").Inc()
+		} else {
+			c.sess.Ep.Metrics().Counter("csc_pings_failed").Inc()
+		}
 		c.mu.Lock()
 		c.serverUp[host] = err == nil
 		if err == nil {
@@ -302,6 +307,7 @@ func (c *Controller) migrate(plan Plan, servers []string) {
 			continue
 		}
 		load[target]++
+		c.sess.Ep.Metrics().Counter("csc_migrations").Inc()
 		c.mu.Lock()
 		c.migrations = append(c.migrations,
 			fmt.Sprintf("%s: %s -> %s", svc, strings.Join(hosts, ","), target))

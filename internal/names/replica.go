@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"itv/internal/clock"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/transport"
@@ -90,6 +91,15 @@ type Replica struct {
 	rng *rand.Rand
 	rr  *rrState
 
+	// Cached node counters (shared host registry, see internal/obs).
+	reg           *obs.Registry
+	resolves      *obs.Counter
+	resolveErrors *obs.Counter
+	binds         *obs.Counter
+	unbinds       *obs.Counter
+	auditRounds   *obs.Counter
+	auditRemoved  *obs.Counter
+
 	mu         sync.RWMutex
 	store      *store
 	seq        int64
@@ -120,15 +130,23 @@ func NewReplica(tr transport.Transport, clk clock.Clock, cfg Config) (*Replica, 
 	}
 	h := fnv.New64a()
 	h.Write([]byte(ep.Addr()))
+	reg := obs.Node(tr.Host())
 	r := &Replica{
-		ep:    ep,
-		clk:   clk,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
-		rr:    newRRState(),
-		store: newStore(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		ep:            ep,
+		clk:           clk,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(int64(h.Sum64()))),
+		rr:            newRRState(),
+		reg:           reg,
+		resolves:      reg.Counter("names_resolves"),
+		resolveErrors: reg.Counter("names_resolve_errors"),
+		binds:         reg.Counter("names_binds"),
+		unbinds:       reg.Counter("names_unbinds"),
+		auditRounds:   reg.Counter("names_audit_rounds"),
+		auditRemoved:  reg.Counter("names_audit_removed"),
+		store:         newStore(),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 	r.lastHB = clk.Now()
 	r.lastAudit = clk.Now()
@@ -466,6 +484,7 @@ func (r *Replica) maybeAudit() {
 	for i, en := range entries {
 		refs[i] = en.ref
 	}
+	r.auditRounds.Inc()
 	alive, err := checker.CheckStatus(refs)
 	if err != nil {
 		return
@@ -474,7 +493,9 @@ func (r *Replica) maybeAudit() {
 		if live, known := alive[en.ref.Key()]; known && !live {
 			// Unbind through the normal serialized-update path so slaves
 			// see the removal too.
-			_, _ = r.submit(&update{Op: opUnbind, Ctx: en.ctx, Name: en.name})
+			if _, err := r.submit(&update{Op: opUnbind, Ctx: en.ctx, Name: en.name}); err == nil {
+				r.auditRemoved.Inc()
+			}
 		}
 	}
 }
@@ -484,6 +505,12 @@ func (r *Replica) maybeAudit() {
 // submit validates, applies and replicates one update.  On a slave it
 // forwards to the master; with no master known it reports Unavailable.
 func (r *Replica) submit(u *update) (newID string, err error) {
+	switch u.Op {
+	case opBind, opNewContext:
+		r.binds.Inc()
+	case opUnbind:
+		r.unbinds.Inc()
+	}
 	r.mu.RLock()
 	isMaster := r.role == master
 	masterAddr := r.masterAddr
@@ -553,6 +580,15 @@ func (r *Replica) submit(u *update) (newID string, err error) {
 // recursing across local contexts and remote context objects (§4.3), and
 // applying selectors at replicated contexts (§4.5).
 func (r *Replica) resolvePath(ctxID string, parts []string, callerHost string) (oref.Ref, error) {
+	r.resolves.Inc()
+	ref, err := r.resolvePathInner(ctxID, parts, callerHost)
+	if err != nil {
+		r.resolveErrors.Inc()
+	}
+	return ref, err
+}
+
+func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost string) (oref.Ref, error) {
 	const maxHops = 64 // cycle guard for malicious or accidental loops
 	cur := ctxID
 	for hop := 0; hop < maxHops; hop++ {
@@ -706,6 +742,17 @@ func (r *Replica) bindingsLocked(node *ctxNode) []Binding {
 // dead, resolution falls back to the first binding rather than failing —
 // availability over precision.
 func (r *Replica) choose(policy string, selRef oref.Ref, bindings []Binding, callerHost, ctxID string) (Binding, error) {
+	chosen, err := r.chooseInner(policy, selRef, bindings, callerHost, ctxID)
+	if err == nil {
+		// Pick distribution per replica name: the evidence for the paper's
+		// load-spreading claim (§4.5).  Picks are rare relative to calls, so
+		// the registry lookup here is acceptable.
+		r.reg.Counter(obs.L("names_selector_pick", "replica", chosen.Name)).Inc()
+	}
+	return chosen, err
+}
+
+func (r *Replica) chooseInner(policy string, selRef oref.Ref, bindings []Binding, callerHost, ctxID string) (Binding, error) {
 	if !selRef.IsNil() {
 		name, err := (SelectorStub{Ep: r.ep, Ref: selRef}).Select(bindings, callerHost)
 		if err == nil {

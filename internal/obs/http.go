@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler builds the opt-in debug surface: /metrics (text snapshot
+// via write), /healthz, and the pprof family under /debug/pprof/.  The
+// handler is mounted on its own mux so nothing leaks into
+// http.DefaultServeMux.
+func DebugHandler(write func(w io.Writer)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		write(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug listens on addr and serves the debug surface until the
+// process exits.  It returns the bound address (useful with ":0") or an
+// error if the listen fails; serving itself runs on a background
+// goroutine.
+func ServeDebug(addr string, write func(w io.Writer)) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugHandler(write)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,354 @@
+// Package obs is the observability substrate: allocation-conscious atomic
+// counters, gauges and fixed-bucket latency histograms, collected in
+// per-node registries that snapshot to a sortable text format.
+//
+// The paper reports its scalability claims as measured message counts and
+// latencies (§7.2.1, §9.7); this package is the measurement machinery those
+// claims are reproduced against.  Every layer — transport, ORB, name
+// service, RAS, controllers — feeds counters here, and every node exposes
+// its registry through the ORB's built-in _metrics call, the itv-admin
+// `metrics` subcommand, and the opt-in HTTP debug server.
+//
+// The package depends only on the standard library and is safe for
+// concurrent use; metric updates are single atomic operations.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (in-flight calls, tracked entities).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets spans RPC latencies from the memnet fast path
+// (tens of microseconds) to the paper's tens-of-seconds fail-over times.
+var DefaultLatencyBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+	30 * time.Second,
+}
+
+// Histogram is a fixed-bucket duration histogram.  Buckets are cumulative
+// in snapshots (le=bound), with a final implicit +Inf bucket.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observation, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing it; observations beyond the last bound report the last
+// bound.  Good enough for operator eyeballs, not for SLO math.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// L builds a labeled metric name: L("x", "k", "v") -> `x{k=v}`.  Pairs are
+// emitted in argument order; callers keep the order stable so names stay
+// comparable across snapshots.
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 16)
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// insertLabel adds one more k=v pair to a (possibly already labeled) name.
+func insertLabel(name, k, v string) string {
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + k + "=" + v + "}"
+	}
+	return name + "{" + k + "=" + v + "}"
+}
+
+// Sample is one row of a registry snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Registry holds one node's metrics by name.  Lookups are get-or-create;
+// hot paths should look a metric up once and keep the pointer.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counts[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counts[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counts[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram with the default latency buckets,
+// creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, DefaultLatencyBuckets)
+}
+
+// HistogramBuckets returns the named histogram, creating it with the given
+// bucket upper bounds if needed.  Bounds must be ascending.
+func (r *Registry) HistogramBuckets(name string, bounds []time.Duration) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot returns every metric as samples, sorted by metric name.  A
+// histogram expands into cumulative le= buckets plus _count and _sum_ms
+// rows, kept together in bucket order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+	for n := range r.counts {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := make([]Sample, 0, len(names))
+	for _, n := range names {
+		switch {
+		case r.counts[n] != nil:
+			out = append(out, Sample{n, float64(r.counts[n].Value())})
+		case r.gauges[n] != nil:
+			out = append(out, Sample{n, float64(r.gauges[n].Value())})
+		default:
+			h := r.hists[n]
+			var cum int64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				out = append(out, Sample{insertLabel(n, "le", b.String()), float64(cum)})
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			out = append(out, Sample{insertLabel(n, "le", "+Inf"), float64(cum)})
+			out = append(out, Sample{n + "_count", float64(h.Count())})
+			out = append(out, Sample{n + "_sum_ms", float64(h.Sum()) / float64(time.Millisecond)})
+		}
+	}
+	r.mu.RUnlock()
+	return out
+}
+
+// WriteText writes the snapshot as "name value" lines.
+func (r *Registry) WriteText(w io.Writer) {
+	for _, s := range r.Snapshot() {
+		fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value))
+	}
+}
+
+// Text returns the snapshot as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// ---- per-node registries ----
+
+var (
+	nodesMu sync.Mutex
+	nodes   = make(map[string]*Registry)
+)
+
+// Node returns the registry for a host identity (a synthetic memnet IP, or
+// "127.0.0.1" for a real TCP process), creating it on first use.  All the
+// services of one simulated server share its node registry, which is what
+// the Metrics RPC and the debug server expose.
+func Node(host string) *Registry {
+	nodesMu.Lock()
+	defer nodesMu.Unlock()
+	r, ok := nodes[host]
+	if !ok {
+		r = NewRegistry()
+		nodes[host] = r
+	}
+	return r
+}
+
+// Hosts lists every node with a registry, sorted.
+func Hosts() []string {
+	nodesMu.Lock()
+	out := make([]string, 0, len(nodes))
+	for h := range nodes {
+		out = append(out, h)
+	}
+	nodesMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// WriteAllNodes writes every node's snapshot, each under a "# node <host>"
+// header — the multi-node form served by itv-cluster's debug endpoint.
+func WriteAllNodes(w io.Writer) {
+	for _, h := range Hosts() {
+		fmt.Fprintf(w, "# node %s\n", h)
+		Node(h).WriteText(w)
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rpcs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("rpcs") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(2 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 2*time.Millisecond + time.Second
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Quantile(0.5); got != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms", got)
+	}
+	// p100 lands in +Inf, reported as the last bound.
+	if got := h.Quantile(1.0); got != 10*time.Millisecond {
+		t.Fatalf("p100 = %v, want 10ms", got)
+	}
+
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"lat{le=1ms}":  2,
+		"lat{le=10ms}": 3,
+		"lat{le=+Inf}": 4,
+		"lat_count":    4,
+	}
+	got := map[string]float64{}
+	for _, s := range snap {
+		got[s.Name] = s.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v (snapshot %v)", name, got[name], v, snap)
+		}
+	}
+}
+
+func TestSnapshotSortedAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(3)
+	r.Counter("alpha").Inc()
+	r.Gauge("mid").Set(7)
+	snap := r.Snapshot()
+	var names []string
+	for _, s := range snap {
+		names = append(names, s.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("snapshot not sorted: %v", names)
+		}
+	}
+	text := r.Text()
+	for _, line := range []string{"alpha 1\n", "mid 7\n", "zeta 3\n"} {
+		if !strings.Contains(text, line) {
+			t.Errorf("text missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := L("x"); got != "x" {
+		t.Fatalf("L(x) = %q", got)
+	}
+	if got := L("x", "k", "v"); got != "x{k=v}" {
+		t.Fatalf("L = %q", got)
+	}
+	if got := L("x", "a", "1", "b", "2"); got != "x{a=1,b=2}" {
+		t.Fatalf("L = %q", got)
+	}
+	if got := insertLabel("x{a=1}", "le", "5ms"); got != "x{a=1,le=5ms}" {
+		t.Fatalf("insertLabel = %q", got)
+	}
+}
+
+func TestNodeRegistries(t *testing.T) {
+	a := Node("198.51.100.1")
+	b := Node("198.51.100.2")
+	if a == b {
+		t.Fatal("distinct hosts share a registry")
+	}
+	if Node("198.51.100.1") != a {
+		t.Fatal("Node not stable")
+	}
+	a.Counter("test_node_counter").Inc()
+	found := false
+	for _, h := range Hosts() {
+		if h == "198.51.100.1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Hosts() missing registered host: %v", Hosts())
+	}
+}
+
+// TestConcurrency hammers one registry from many goroutines; run under
+// -race this is the honesty check for the atomic counters.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("calls").Inc()
+				r.Gauge("inflight").Inc()
+				r.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				r.Gauge("inflight").Dec()
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("calls").Value(); got != workers*iters {
+		t.Fatalf("calls = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*iters {
+		t.Fatalf("observations = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	var starts, ends int
+	var lastOutcome string
+	ft := FuncTracer{
+		Start: func(c Call) { starts++ },
+		End:   func(c Call, outcome string, d time.Duration) { ends++; lastOutcome = outcome },
+	}
+	mt := MultiTracer{ft, ft}
+	c := Call{TypeID: "itv.Echo", Method: "echo", Peer: "192.168.0.1:1"}
+	mt.CallStart(c)
+	mt.CallEnd(c, "ok", time.Millisecond)
+	if starts != 2 || ends != 2 || lastOutcome != "ok" {
+		t.Fatalf("starts=%d ends=%d outcome=%q", starts, ends, lastOutcome)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("debug_hits").Add(9)
+	addr, err := ServeDebug("127.0.0.1:0", r.WriteText)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		if _, err := io.Copy(&b, resp.Body); err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, b.String()
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "debug_hits 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}

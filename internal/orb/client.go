@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"itv/internal/obs"
 	"itv/internal/oref"
 	"itv/internal/wire"
 )
@@ -13,6 +14,7 @@ import (
 // concurrent requests by id.
 type clientConn struct {
 	conn net.Conn
+	m    *epMetrics
 
 	writeMu sync.Mutex
 
@@ -23,8 +25,8 @@ type clientConn struct {
 	err     error
 }
 
-func newClientConn(conn net.Conn) *clientConn {
-	cc := &clientConn{conn: conn, pending: make(map[uint64]chan *response)}
+func newClientConn(conn net.Conn, m *epMetrics) *clientConn {
+	cc := &clientConn{conn: conn, m: m, pending: make(map[uint64]chan *response)}
 	go cc.readLoop()
 	return cc
 }
@@ -33,12 +35,20 @@ func (cc *clientConn) readLoop() {
 	for {
 		frame, err := wire.ReadFrame(cc.conn)
 		if err != nil {
-			cc.fail(ErrUnreachable)
+			// Peer crash, severed connection, or endpoint shutdown: the
+			// frame read fails first.
+			if cc.fail(&ConnError{Op: "read", Err: err}) {
+				cc.m.readErrors.Inc()
+			}
 			return
 		}
 		var resp response
 		if err := wire.Unmarshal(frame, &resp); err != nil {
-			cc.fail(ErrUnreachable)
+			// Protocol corruption is a different disease than a dead peer;
+			// keep the cause and count the class separately.
+			if cc.fail(&ConnError{Op: "decode", Err: err}) {
+				cc.m.decodeErrors.Inc()
+			}
 			return
 		}
 		cc.mu.Lock()
@@ -51,12 +61,14 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
-// fail marks the connection dead and releases every waiter with err.
-func (cc *clientConn) fail(err error) {
+// fail marks the connection dead and releases every waiter with err.  It
+// reports whether this call was the one that killed the connection; later
+// calls keep the first error and return false.
+func (cc *clientConn) fail(err error) bool {
 	cc.mu.Lock()
 	if cc.dead {
 		cc.mu.Unlock()
-		return
+		return false
 	}
 	cc.dead = true
 	cc.err = err
@@ -67,6 +79,18 @@ func (cc *clientConn) fail(err error) {
 	for _, ch := range pending {
 		ch <- nil
 	}
+	return true
+}
+
+// failure returns the error that killed the connection, or ErrUnreachable
+// if none was recorded.
+func (cc *clientConn) failure() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return ErrUnreachable
 }
 
 // roundTrip sends one request and waits for its response or timeout.
@@ -88,8 +112,11 @@ func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*response,
 	err := wire.WriteFrame(cc.conn, payload)
 	cc.writeMu.Unlock()
 	if err != nil {
-		cc.fail(ErrUnreachable)
-		return nil, ErrUnreachable
+		werr := &ConnError{Op: "write", Err: err}
+		if cc.fail(werr) {
+			cc.m.writeErrors.Inc()
+		}
+		return nil, werr
 	}
 
 	timer := time.NewTimer(timeout)
@@ -97,14 +124,17 @@ func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*response,
 	select {
 	case resp := <-ch:
 		if resp == nil {
-			return nil, ErrUnreachable
+			// The read loop killed the connection; report its diagnosis,
+			// not a generic unreachable.
+			return nil, cc.failure()
 		}
 		return resp, nil
 	case <-timer.C:
 		cc.mu.Lock()
 		delete(cc.pending, req.ReqID)
 		cc.mu.Unlock()
-		return nil, ErrUnreachable
+		cc.m.callTimeouts.Inc()
+		return nil, &ConnError{Op: "timeout", Err: errCallTimeout}
 	}
 }
 
@@ -121,17 +151,20 @@ func (e *Endpoint) getConn(addr string) (*clientConn, error) {
 		cc.mu.Unlock()
 		if !dead {
 			e.mu.Unlock()
+			e.metrics.poolHits.Inc()
 			return cc, nil
 		}
 		delete(e.conns, addr)
 	}
 	e.mu.Unlock()
 
+	e.metrics.poolDials.Inc()
 	conn, err := e.tr.Dial(addr)
 	if err != nil {
-		return nil, ErrUnreachable
+		e.metrics.poolDialErrors.Inc()
+		return nil, &ConnError{Op: "dial", Err: err}
 	}
-	cc := newClientConn(conn)
+	cc := newClientConn(conn, e.metrics)
 
 	e.mu.Lock()
 	if e.closed {
@@ -163,7 +196,27 @@ func (e *Endpoint) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 	if ref.IsNil() {
 		return ErrInvalidReference
 	}
+	m := e.metrics
+	m.clientCalls.Inc()
+	t := e.tracer()
+	c := obs.Call{TypeID: ref.TypeID, Method: method, Peer: ref.Addr}
+	if t != nil {
+		t.CallStart(c)
+	}
+	start := time.Now()
+	err := e.invoke(ref, method, put, get)
+	d := time.Since(start)
+	m.latencyFor(ref.TypeID, method).Observe(d)
+	if err != nil && Dead(err) {
+		m.clientFailures.Inc()
+	}
+	if t != nil {
+		t.CallEnd(c, outcomeOf(err), d)
+	}
+	return err
+}
 
+func (e *Endpoint) invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	// Local implementation: a plain dispatch, no network (§3.2: "maps to a
 	// local implementation or to stubs that perform a remote procedure
 	// call").
@@ -213,10 +266,14 @@ func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encod
 	if closed {
 		return ErrShutdown
 	}
+	if method == "_metrics" {
+		return e.metricsResult(get)
+	}
 	if !ok || (ref.Incarnation != e.incarnation && ref.Incarnation != oref.AnyIncarnation) {
 		return ErrInvalidReference
 	}
 	e.localCalls.Add(1)
+	e.metrics.localCalls.Inc()
 	if method == "_ping" {
 		return nil
 	}
@@ -279,4 +336,38 @@ func decodeResponse(resp *response, get func(*wire.Decoder) error) error {
 // stale one, and ErrUnreachable for a dead process.
 func (e *Endpoint) Ping(ref oref.Ref) error {
 	return e.Invoke(ref, "_ping", nil, nil)
+}
+
+// metricsResult encodes the node registry snapshot the way the _metrics
+// response carries it and hands it to get (the local short-circuit path).
+func (e *Endpoint) metricsResult(get func(*wire.Decoder) error) error {
+	if get == nil {
+		return nil
+	}
+	text := e.metrics.reg.Text()
+	enc := wire.NewEncoder(16 + len(text))
+	enc.PutString(text)
+	d := wire.NewDecoder(enc.Bytes())
+	if err := get(d); err != nil {
+		return err
+	}
+	if d.Err() != nil {
+		return Errf(ExcBadArgs, "result decode: %v", d.Err())
+	}
+	return nil
+}
+
+// MetricsOf scrapes the node registry of the endpoint at addr using the
+// built-in _metrics method and returns the text snapshot.  It works against
+// any live endpoint regardless of incarnation or object ids — metrics are a
+// node property, not an object property — which is what lets itv-admin and
+// in-memory tests inspect a server they hold no valid reference to.
+func (e *Endpoint) MetricsOf(addr string) (string, error) {
+	ref := oref.Ref{Addr: addr, Incarnation: oref.AnyIncarnation, TypeID: "itv.Node"}
+	var text string
+	err := e.Invoke(ref, "_metrics", nil, func(d *wire.Decoder) error {
+		text = d.String()
+		return nil
+	})
+	return text, err
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"itv/internal/obs"
 	"itv/internal/oref"
 	"itv/internal/transport"
 	"itv/internal/wire"
@@ -102,7 +103,9 @@ type Endpoint struct {
 	addr        string
 	incarnation int64
 	auth        atomic.Value // Authenticator; set via SetAuthenticator
+	trace       atomic.Value // obs.Tracer; set via SetTracer
 	callTimeout time.Duration
+	metrics     *epMetrics
 
 	mu      sync.Mutex
 	objects map[string]Skeleton
@@ -146,6 +149,7 @@ func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint
 		addr:        addr,
 		incarnation: incarnationCounter.Add(1),
 		callTimeout: 10 * time.Second,
+		metrics:     newEpMetrics(tr.Host()),
 		objects:     make(map[string]Skeleton),
 		conns:       make(map[string]*clientConn),
 		serving:     make(map[net.Conn]struct{}),
@@ -167,6 +171,23 @@ func (e *Endpoint) authenticator() Authenticator {
 	}
 	return nil
 }
+
+// SetTracer installs a per-call trace hook observing every invocation this
+// endpoint issues.  Like SetAuthenticator it may be installed while
+// serving; in-flight calls see either the old or the new tracer.
+func (e *Endpoint) SetTracer(t obs.Tracer) { e.trace.Store(&t) }
+
+// tracer returns the installed trace hook, or nil.
+func (e *Endpoint) tracer() obs.Tracer {
+	if v := e.trace.Load(); v != nil {
+		return *v.(*obs.Tracer)
+	}
+	return nil
+}
+
+// Metrics returns the node registry this endpoint reports into — shared by
+// every endpoint on the same host, scraped remotely via MetricsOf.
+func (e *Endpoint) Metrics() *obs.Registry { return e.metrics.reg }
 
 // SetCallTimeout bounds each remote invocation in real time.
 func (e *Endpoint) SetCallTimeout(d time.Duration) { e.callTimeout = d }
@@ -344,7 +365,19 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 	sk, ok := e.objects[req.ObjectID]
 	e.mu.Unlock()
 
+	// Built-in metrics scrape: a node property, not an object property, so
+	// it answers before incarnation and object-id validation — scrapers
+	// hold no valid reference to a server they are inspecting.
+	if req.Method == "_metrics" {
+		enc := wire.NewEncoder(1024)
+		enc.PutString(e.metrics.reg.Text())
+		resp.Status = statusOK
+		resp.Body = enc.Bytes()
+		return resp
+	}
+
 	if (req.Incarnation != e.incarnation && req.Incarnation != oref.AnyIncarnation) || !ok {
+		e.metrics.invalidRefs.Inc()
 		resp.Status = statusInvalidRef
 		return resp
 	}
@@ -362,7 +395,10 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 		args:    wire.NewDecoder(req.Body),
 		results: wire.NewEncoder(64),
 	}
+	e.metrics.dispatches.Inc()
+	e.metrics.inflight.Inc()
 	err := func() (err error) {
+		defer e.metrics.inflight.Dec()
 		defer func() {
 			if r := recover(); r != nil {
 				err = Errf("ServerPanic", "%v", r)
@@ -381,6 +417,7 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 		resp.Status = statusNoSuchMethod
 		resp.ErrMsg = req.Method
 	default:
+		e.metrics.appErrors.Inc()
 		var ae *AppError
 		if errors.As(err, &ae) {
 			resp.Status = statusApp

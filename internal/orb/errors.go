@@ -27,6 +27,26 @@ var ErrNoSuchMethod = errors.New("orb: no such method")
 // ErrShutdown reports use of a closed endpoint.
 var ErrShutdown = errors.New("orb: endpoint closed")
 
+// ConnError reports a transport-level connection failure with its
+// operation ("dial", "read", "decode", "write", "timeout") and underlying
+// cause preserved — a read error means the peer died, a decode error means
+// protocol corruption, and callers diagnosing one should not be told the
+// other.  errors.Is(err, ErrUnreachable) still holds, so rebinding logic
+// (§8.2) is unaffected.
+type ConnError struct {
+	Op  string
+	Err error
+}
+
+func (e *ConnError) Error() string { return "orb: connection " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap makes a ConnError match both ErrUnreachable and its real cause.
+func (e *ConnError) Unwrap() []error { return []error{ErrUnreachable, e.Err} }
+
+// errCallTimeout is the cause recorded when a round trip exceeds the
+// endpoint's call timeout.
+var errCallTimeout = errors.New("call timed out awaiting response")
+
 // AppError is an application-level exception raised by a skeleton and
 // re-raised in the client, identified by a stable name (the IDL exception
 // tag) plus a human-readable message.

@@ -1,0 +1,94 @@
+package orb
+
+import (
+	"errors"
+	"sync"
+
+	"itv/internal/obs"
+)
+
+// epMetrics caches this endpoint's obs counters so the invoke and dispatch
+// hot paths touch only atomics.  All endpoints of one host (one simulated
+// server) share the host's node registry.
+type epMetrics struct {
+	reg *obs.Registry
+
+	clientCalls    *obs.Counter
+	clientFailures *obs.Counter
+	localCalls     *obs.Counter
+
+	poolHits       *obs.Counter
+	poolDials      *obs.Counter
+	poolDialErrors *obs.Counter
+
+	readErrors   *obs.Counter
+	decodeErrors *obs.Counter
+	writeErrors  *obs.Counter
+	callTimeouts *obs.Counter
+
+	dispatches  *obs.Counter
+	appErrors   *obs.Counter
+	invalidRefs *obs.Counter
+	inflight    *obs.Gauge
+
+	latency sync.Map // methodKey -> *obs.Histogram
+}
+
+type methodKey struct{ typeID, method string }
+
+func newEpMetrics(host string) *epMetrics {
+	r := obs.Node(host)
+	return &epMetrics{
+		reg:            r,
+		clientCalls:    r.Counter("orb_client_calls"),
+		clientFailures: r.Counter("orb_client_failures"),
+		localCalls:     r.Counter("orb_client_local_calls"),
+		poolHits:       r.Counter("orb_pool_hits"),
+		poolDials:      r.Counter("orb_pool_dials"),
+		poolDialErrors: r.Counter("orb_pool_dial_errors"),
+		readErrors:     r.Counter("orb_conn_read_errors"),
+		decodeErrors:   r.Counter("orb_conn_decode_errors"),
+		writeErrors:    r.Counter("orb_conn_write_errors"),
+		callTimeouts:   r.Counter("orb_call_timeouts"),
+		dispatches:     r.Counter("orb_server_dispatches"),
+		appErrors:      r.Counter("orb_server_app_errors"),
+		invalidRefs:    r.Counter("orb_server_invalid_refs"),
+		inflight:       r.Gauge("orb_server_inflight"),
+	}
+}
+
+// latencyFor returns the per-method latency histogram, creating and caching
+// it on first use.
+func (m *epMetrics) latencyFor(typeID, method string) *obs.Histogram {
+	k := methodKey{typeID, method}
+	if h, ok := m.latency.Load(k); ok {
+		return h.(*obs.Histogram)
+	}
+	if typeID == "" {
+		typeID = "?"
+	}
+	h := m.reg.Histogram(obs.L("orb_call_latency", "method", typeID+"."+method))
+	actual, _ := m.latency.LoadOrStore(k, h)
+	return actual.(*obs.Histogram)
+}
+
+// outcomeOf classifies an invocation result for traces and counters.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrInvalidReference):
+		return "invalid_ref"
+	case errors.Is(err, ErrNoSuchMethod):
+		return "no_such_method"
+	case errors.Is(err, ErrShutdown):
+		return "shutdown"
+	case errors.Is(err, ErrUnreachable):
+		return "unreachable"
+	default:
+		if name, ok := AppName(err); ok {
+			return "app:" + name
+		}
+		return "error"
+	}
+}

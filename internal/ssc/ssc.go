@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"itv/internal/clock"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/proc"
@@ -160,7 +161,9 @@ func (c *Controller) launch(spec ServiceSpec) error {
 	}
 	c.mu.Lock()
 	c.running[spec.Name] = &running{p: p}
+	n := len(c.running)
 	c.mu.Unlock()
+	obs.Node(c.tr.Host()).Gauge("ssc_services_running").Set(int64(n))
 	go c.monitor(spec, p)
 	return nil
 }
@@ -180,7 +183,9 @@ func (c *Controller) monitor(spec ServiceSpec, p *proc.Process) {
 	if r != nil && r.p == p {
 		delete(c.running, spec.Name)
 	}
+	n := len(c.running)
 	c.mu.Unlock()
+	obs.Node(c.tr.Host()).Gauge("ssc_services_running").Set(int64(n))
 	if deliberate || closed {
 		return
 	}
@@ -197,6 +202,7 @@ func (c *Controller) monitor(spec ServiceSpec, p *proc.Process) {
 	}
 	c.restarts++
 	c.mu.Unlock()
+	obs.Node(c.tr.Host()).Counter("ssc_restarts").Inc()
 	// A failed restart is retried on the next failure notification; a
 	// service whose Start cannot succeed stays down until an operator or
 	// the CSC intervenes.

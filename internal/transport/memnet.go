@@ -100,6 +100,9 @@ type memHost struct {
 
 func (h *memHost) Host() string { return h.ip }
 
+// Stats reports this host's accumulated transport counters.
+func (h *memHost) Stats() Stats { return statsFor(h.ip) }
+
 func (h *memHost) Listen() (net.Listener, string, error) {
 	h.net.mu.Lock()
 	defer h.net.mu.Unlock()
@@ -132,25 +135,30 @@ func (h *memHost) listenLocked(port int) (net.Listener, string, error) {
 }
 
 func (h *memHost) Dial(addr string) (net.Conn, error) {
+	ctr := countersFor(h.ip)
 	h.net.mu.Lock()
 	src := h.net.host(h.ip)
 	if src.cut {
 		h.net.mu.Unlock()
+		ctr.dialErrors.Inc()
 		return nil, ErrUnreachable
 	}
 	ln, ok := h.net.listeners[addr]
 	if !ok {
 		h.net.mu.Unlock()
+		ctr.dialErrors.Inc()
 		return nil, ErrRefused
 	}
 	dstIP, _, err := net.SplitHostPort(addr)
 	if err != nil {
 		h.net.mu.Unlock()
+		ctr.dialErrors.Inc()
 		return nil, err
 	}
 	dst := h.net.host(dstIP)
 	if dst.cut {
 		h.net.mu.Unlock()
+		ctr.dialErrors.Inc()
 		return nil, ErrUnreachable
 	}
 	// Give the client side a synthetic ephemeral port for caller-IP
@@ -159,9 +167,10 @@ func (h *memHost) Dial(addr string) (net.Conn, error) {
 	src.nextPort++
 	clientAddr := fmt.Sprintf("%s:%d", h.ip, srcPort)
 
+	dstCtr := countersFor(dstIP)
 	p1, p2 := net.Pipe()
-	client := &memConn{Conn: p1, net: h.net, local: memAddr(clientAddr), remote: memAddr(addr), hostIP: h.ip}
-	server := &memConn{Conn: p2, net: h.net, local: memAddr(addr), remote: memAddr(clientAddr), hostIP: dstIP}
+	client := &memConn{Conn: p1, net: h.net, local: memAddr(clientAddr), remote: memAddr(addr), hostIP: h.ip, ctr: ctr}
+	server := &memConn{Conn: p2, net: h.net, local: memAddr(addr), remote: memAddr(clientAddr), hostIP: dstIP, ctr: dstCtr}
 	client.peer, server.peer = server, client
 	src.conns[client] = struct{}{}
 	dst.conns[server] = struct{}{}
@@ -171,9 +180,12 @@ func (h *memHost) Dial(addr string) (net.Conn, error) {
 	case ln.accept <- server:
 	case <-ln.done:
 		client.Close()
+		ctr.dialErrors.Inc()
 		return nil, ErrRefused
 	}
 	h.net.connsMade.Add(1)
+	ctr.connsDialed.Inc()
+	dstCtr.connsAccepted.Inc()
 	return client, nil
 }
 
@@ -226,6 +238,7 @@ type memConn struct {
 	local  memAddr
 	remote memAddr
 	hostIP string
+	ctr    *netCounters
 	peer   *memConn
 	closed sync.Once
 }
@@ -236,6 +249,16 @@ func (c *memConn) RemoteAddr() net.Addr { return c.remote }
 func (c *memConn) Write(b []byte) (int, error) {
 	n, err := c.Conn.Write(b)
 	c.net.bytesSent.Add(int64(n))
+	c.ctr.bytesSent.Add(int64(n))
+	c.ctr.framesSent.Inc()
+	return n, err
+}
+
+func (c *memConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		c.ctr.bytesRecv.Add(int64(n))
+	}
 	return n, err
 }
 

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"testing"
+
+	"itv/internal/wire"
+)
+
+// TestMemnetStats checks the per-host counters: one frame per WriteFrame
+// call, byte totals matching header+payload, and dial/accept bookkeeping
+// attributed to the right side.
+func TestMemnetHostStats(t *testing.T) {
+	n := NewNetwork()
+	srv := n.Host("192.168.77.1")
+	cli := n.Host("192.168.77.2")
+
+	srvT, ok := srv.(StatsSource)
+	if !ok {
+		t.Fatal("memnet host does not implement StatsSource")
+	}
+	cliT := cli.(StatsSource)
+	srv0, cli0 := srvT.Stats(), cliT.Stats()
+
+	ln, addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		p, err := wire.ReadFrame(c)
+		if err != nil {
+			return
+		}
+		wire.WriteFrame(c, p)
+	}()
+
+	c, err := cli.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello itv")
+	if err := wire.WriteFrame(c, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-done
+
+	cs := cliT.Stats().Sub(cli0)
+	ss := srvT.Stats().Sub(srv0)
+	frameBytes := int64(4 + len(payload))
+	if cs.FramesSent != 1 || cs.BytesSent != frameBytes {
+		t.Errorf("client sent frames=%d bytes=%d, want 1/%d", cs.FramesSent, cs.BytesSent, frameBytes)
+	}
+	if ss.FramesSent != 1 || ss.BytesSent != frameBytes {
+		t.Errorf("server sent frames=%d bytes=%d, want 1/%d", ss.FramesSent, ss.BytesSent, frameBytes)
+	}
+	if cs.BytesRecv != frameBytes || ss.BytesRecv != frameBytes {
+		t.Errorf("bytes recv client=%d server=%d, want %d", cs.BytesRecv, ss.BytesRecv, frameBytes)
+	}
+	if cs.ConnsDialed != 1 || cs.ConnsAccepted != 0 {
+		t.Errorf("client dialed=%d accepted=%d, want 1/0", cs.ConnsDialed, cs.ConnsAccepted)
+	}
+	if ss.ConnsDialed != 0 || ss.ConnsAccepted != 1 {
+		t.Errorf("server dialed=%d accepted=%d, want 0/1", ss.ConnsDialed, ss.ConnsAccepted)
+	}
+
+	// A dial to a dead address counts as a dial error, not a dial.
+	if _, err := cli.Dial("192.168.77.9:1"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+	if d := cliT.Stats().Sub(cli0); d.DialErrors != 1 || d.ConnsDialed != 1 {
+		t.Errorf("after failed dial: dialErrors=%d connsDialed=%d, want 1/1", d.DialErrors, d.ConnsDialed)
+	}
+}
+
+// TestTCPStats runs the same exchange over loopback TCP and checks the
+// unified counters move the same way (byte counts include TCP's identical
+// framing, so sent totals match memnet exactly).
+func TestTCPStats(t *testing.T) {
+	tr := TCP()
+	src, ok := tr.(StatsSource)
+	if !ok {
+		t.Fatal("tcp transport does not implement StatsSource")
+	}
+	before := src.Stats()
+
+	ln, addr, err := tr.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		p, err := wire.ReadFrame(c)
+		if err != nil {
+			return
+		}
+		wire.WriteFrame(c, p)
+	}()
+
+	c, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello itv")
+	if err := wire.WriteFrame(c, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-done
+
+	d := src.Stats().Sub(before)
+	frameBytes := int64(4 + len(payload))
+	// Loopback client and server share the "127.0.0.1" node, so totals are
+	// both directions combined.
+	if d.FramesSent != 2 || d.BytesSent != 2*frameBytes {
+		t.Errorf("frames=%d bytes=%d, want 2/%d", d.FramesSent, d.BytesSent, 2*frameBytes)
+	}
+	if d.BytesRecv != 2*frameBytes {
+		t.Errorf("bytesRecv=%d, want %d", d.BytesRecv, 2*frameBytes)
+	}
+	if d.ConnsDialed != 1 || d.ConnsAccepted != 1 {
+		t.Errorf("dialed=%d accepted=%d, want 1/1", d.ConnsDialed, d.ConnsAccepted)
+	}
+}
