@@ -1,0 +1,126 @@
+// Command itv-vet runs the project's static-analysis suite: six checks
+// that enforce the OCS concurrency and failure-handling invariants
+// (mortal references, no mutex across RPC, injected clocks, stoppable
+// goroutines, errors.Is, metric naming).  See internal/lint and the
+// "Static invariants" section of DESIGN.md.
+//
+// Usage:
+//
+//	itv-vet [flags] [packages]
+//
+//	itv-vet ./...                 # whole module (the CI gate)
+//	itv-vet -json ./... > vet.json
+//	itv-vet -checks rawerrcmp -fix ./...
+//	itv-vet -list
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (bad
+// patterns, unparsable source).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"itv/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array (for CI diffing)")
+		fix      = flag.Bool("fix", false, "mechanically rewrite rawerrcmp findings to errors.Is")
+		list     = flag.Bool("list", false, "list registered checks and exit")
+		checks   = flag.String("checks", "", "comma-separated checks to run (default: all)")
+		typeErrs = flag.Bool("typeerrors", false, "print tolerated type-check errors to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.All() {
+			fmt.Printf("%-16s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+
+	selected, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itv-vet:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itv-vet:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itv-vet:", err)
+		return 2
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itv-vet:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itv-vet: %s: %v\n", dir, err)
+			return 2
+		}
+		if *typeErrs {
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "itv-vet: typecheck: %v\n", te)
+			}
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	if *fix {
+		files, err := lint.FixRawErrCmp(pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itv-vet: fix:", err)
+			return 2
+		}
+		for _, f := range files {
+			fmt.Println("fixed", f)
+		}
+		return 0
+	}
+
+	diags := lint.Run(pkgs, selected)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "itv-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "itv-vet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

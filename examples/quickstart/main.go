@@ -53,7 +53,7 @@ func main() {
 	}
 	defer ns.Close()
 	for !ns.IsMaster() {
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	fmt.Println("name service up, master elected")
 

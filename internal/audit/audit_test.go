@@ -58,30 +58,20 @@ func newFixture(t *testing.T, n int) *fixture {
 
 func serverIP(i int) string { return "192.168.0." + string(rune('1'+i)) }
 
-// advanceUntil steps the fake clock until cond holds, yielding real time
-// between steps so background loops can observe their tickers.
+// advanceUntil steps the fake clock until cond holds, letting background
+// loops observe their tickers between steps.
 func advanceUntil(t *testing.T, clk *clock.Fake, cond func() bool) {
 	t.Helper()
-	for i := 0; i < 400; i++ {
-		if cond() {
-			return
-		}
-		clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+	if !clk.Await(time.Second, 400, cond) {
+		t.Fatal("condition never held")
 	}
-	t.Fatal("condition never held")
 }
 
 func (f *fixture) waitFor(what string, cond func() bool) {
 	f.t.Helper()
-	for i := 0; i < 400; i++ {
-		if cond() {
-			return
-		}
-		f.clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+	if !f.clk.Await(time.Second, 400, cond) {
+		f.t.Fatalf("condition never held: %s", what)
 	}
-	f.t.Fatalf("condition never held: %s", what)
 }
 
 // startEcho starts a trivial service on server s under its SSC and returns
@@ -170,7 +160,7 @@ func TestRemoteObjectTracking(t *testing.T) {
 		t.Fatal("fresh remote object reported dead")
 	}
 	f.clk.Advance(6 * time.Second) // one peer poll
-	time.Sleep(2 * time.Millisecond)
+	f.clk.Settle()
 	if !check1(t, s1.ras, ref) {
 		t.Fatal("live remote object reported dead after poll")
 	}
@@ -210,7 +200,7 @@ func TestSettopTracking(t *testing.T) {
 	// Keep heartbeating: stays up across polls.
 	for i := 0; i < 3; i++ {
 		f.clk.Advance(5 * time.Second)
-		time.Sleep(2 * time.Millisecond)
+		f.clk.Settle()
 		s.mgr.Heartbeat("10.3.0.17")
 	}
 	if !check1(t, s.ras, ref) {
@@ -315,7 +305,7 @@ func TestWatcherFiresOnDeath(t *testing.T) {
 	})
 	// Exactly once.
 	f.clk.Advance(30 * time.Second)
-	time.Sleep(2 * time.Millisecond)
+	f.clk.Settle()
 	mu.Lock()
 	defer mu.Unlock()
 	if fired != 1 {
@@ -344,7 +334,7 @@ func TestWatcherCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.clk.Advance(30 * time.Second)
-	time.Sleep(2 * time.Millisecond)
+	f.clk.Settle()
 	if fired {
 		t.Fatal("cancelled watch fired")
 	}
@@ -388,7 +378,7 @@ func TestLeaseTable(t *testing.T) {
 	// Renew on time: survives.
 	for i := 0; i < 4; i++ {
 		clk.Advance(2 * time.Second)
-		time.Sleep(time.Millisecond)
+		clk.Settle()
 		if !lt.Renew("conn-1") {
 			t.Fatal("timely renewal rejected")
 		}
@@ -403,7 +393,7 @@ func TestLeaseTable(t *testing.T) {
 	}
 	// Stop renewing (client crashed): reclaimed.
 	clk.Advance(10 * time.Second)
-	time.Sleep(2 * time.Millisecond)
+	clk.Settle()
 	mu.Lock()
 	defer mu.Unlock()
 	if len(expired) != 1 || expired[0] != "conn-1" {
@@ -474,7 +464,7 @@ func measurePeerRPCs(t *testing.T, n, settops int) float64 {
 	})
 	// The clock is no longer advancing; give any in-flight poll a moment
 	// to finish counting its RPCs before the final sample.
-	time.Sleep(5 * time.Millisecond)
+	f.clk.Settle()
 	after := sample()
 
 	// The client-side ORB records a per-method latency histogram for the

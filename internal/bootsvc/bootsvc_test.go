@@ -24,11 +24,7 @@ func newFixture(t *testing.T) (*clock.Fake, *transport.Network, *names.Replica) 
 		t.Fatal(err)
 	}
 	t.Cleanup(ns.Close)
-	for i := 0; i < 400 && !ns.IsMaster(); i++ {
-		clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
-	}
-	if !ns.IsMaster() {
+	if !clk.Await(time.Second, 400, ns.IsMaster) {
 		t.Fatal("no master")
 	}
 	return clk, nw, ns

@@ -9,6 +9,7 @@ package clock
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -181,6 +182,36 @@ func (f *Fake) Advance(d time.Duration) {
 	}
 	f.now = target
 	f.mu.Unlock()
+}
+
+// Settle gives background goroutines a chance to run to their next
+// blocking point after an Advance, without moving simulated time.  It
+// yields the processor repeatedly and finishes with one short real pause so
+// goroutines parked on other OS threads get scheduled too.  This is the
+// single sanctioned wall-clock wait in fake-clock tests: itv-vet's
+// sleepyclock check bans raw time.Sleep polling everywhere a clock.Clock is
+// reachable, and this helper (plus Await) is what replaces it.
+func (f *Fake) Settle() {
+	for i := 0; i < 128; i++ {
+		runtime.Gosched()
+	}
+	time.Sleep(200 * time.Microsecond)
+}
+
+// Await drives the fake clock until cond holds: each round lets the system
+// settle, checks cond, and advances simulated time by step.  It makes at
+// most tries advances and reports whether cond ever held.  This is the
+// deterministic replacement for the `for { advance; time.Sleep }` polling
+// loops failover tests used to hand-roll.
+func (f *Fake) Await(step time.Duration, tries int, cond func() bool) bool {
+	for i := 0; i < tries; i++ {
+		if cond() {
+			return true
+		}
+		f.Advance(step)
+		f.Settle()
+	}
+	return cond()
 }
 
 // Waiters reports how many timers/tickers are pending; tests use it to

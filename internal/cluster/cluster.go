@@ -218,25 +218,26 @@ func (c *Cluster) ServerByName(name string) *Server {
 // PumpSleep is the real-time pause between fake-clock advances in WaitFor.
 // Timing-sensitive experiments raise it so background goroutines keep pace
 // with simulated time even under a slow runtime (e.g. the race detector).
-// Zero means the 1 ms default.
+// Zero means clock.Fake.Settle, the default scheduler yield.
 var PumpSleep time.Duration
 
 // WaitFor drives simulated time until cond holds (or real time passes,
 // with a real clock).  It returns false on timeout.
 func (c *Cluster) WaitFor(cond func() bool) bool {
-	pause := PumpSleep
-	if pause == 0 {
-		pause = time.Millisecond
-	}
 	for i := 0; i < 2400; i++ {
 		if cond() {
 			return true
 		}
 		if c.FakeClk != nil {
 			c.FakeClk.Advance(500 * time.Millisecond)
-			time.Sleep(pause)
+			if pause := PumpSleep; pause > 0 {
+				//lint:ignore sleepyclock PumpSleep is a deliberate real-time yield between fake-clock steps
+				time.Sleep(pause)
+			} else {
+				c.FakeClk.Settle()
+			}
 		} else {
-			time.Sleep(10 * time.Millisecond)
+			c.Clk.Sleep(10 * time.Millisecond)
 		}
 	}
 	return false

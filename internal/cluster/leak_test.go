@@ -29,7 +29,7 @@ func TestLeakAfterMDSKillThenClose(t *testing.T) {
 		return m != nil && m.Ref().Addr != pb.Movie.Ref.Addr
 	})
 	c.FakeClk.Advance(30 * time.Second)
-	time.Sleep(3 * time.Millisecond)
+	c.FakeClk.Settle()
 	// Without recovering, just close.
 	if err := st.CloseMovie(); err != nil {
 		t.Logf("close err: %v (%v dead=%v)", err, err, orb.Dead(err))

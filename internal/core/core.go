@@ -76,21 +76,31 @@ func (rb *Rebinder) Name() string { return rb.name }
 func (rb *Rebinder) Session() *Session { return rb.s }
 
 // Ref returns the current object reference, resolving if necessary.
+// The name-service call happens outside rb.mu: the resolve path can
+// re-enter client code (replicated contexts forward to the master,
+// which may audit back), so blocking the mutex on it invites the
+// distributed deadlock mutexacrossrpc exists to prevent.  Concurrent
+// resolvers race benignly; the first cached result wins.
 func (rb *Rebinder) Ref() (oref.Ref, error) {
 	rb.mu.Lock()
-	defer rb.mu.Unlock()
-	return rb.refLocked()
-}
-
-func (rb *Rebinder) refLocked() (oref.Ref, error) {
-	if !rb.ref.IsNil() {
-		return rb.ref, nil
+	cached := rb.ref
+	rb.mu.Unlock()
+	if !cached.IsNil() {
+		return cached, nil
 	}
+
 	ref, err := rb.s.Root.Resolve(rb.name)
 	if err != nil {
 		return oref.Ref{}, err
 	}
-	rb.ref = ref
+
+	rb.mu.Lock()
+	if rb.ref.IsNil() {
+		rb.ref = ref
+	} else {
+		ref = rb.ref
+	}
+	rb.mu.Unlock()
 	return ref, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -44,14 +45,9 @@ func newFixture(t *testing.T) *fixture {
 
 func (f *fixture) waitFor(what string, cond func() bool) {
 	f.t.Helper()
-	for i := 0; i < 600; i++ {
-		if cond() {
-			return
-		}
-		f.clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+	if !f.clk.Await(time.Second, 600, cond) {
+		f.t.Fatalf("condition never held: %s", what)
 	}
-	f.t.Fatalf("condition never held: %s", what)
 }
 
 // echoService is a restartable service instance.
@@ -177,7 +173,7 @@ func TestRebinderWaitsForBackupWithBackoff(t *testing.T) {
 		default:
 		}
 		f.clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+		f.clk.Settle()
 		if !bound && i >= 4 {
 			if err := f.session.Root.Bind("svc-late", svc.ref); err == nil {
 				bound = true
@@ -196,7 +192,7 @@ func TestRebinderNonRetryableErrorPassesThrough(t *testing.T) {
 	}
 	rb := f.session.Service("svc-echo")
 	err := rb.Invoke("nonexistent", nil, nil)
-	if err != orb.ErrNoSuchMethod {
+	if !errors.Is(err, orb.ErrNoSuchMethod) {
 		t.Fatalf("err = %v, want ErrNoSuchMethod untouched", err)
 	}
 }
@@ -251,7 +247,7 @@ func TestElectorPrimaryBackupFailover(t *testing.T) {
 
 	// The backup stays a backup while the primary lives.
 	f.clk.Advance(30 * time.Second)
-	time.Sleep(3 * time.Millisecond)
+	f.clk.Settle()
 	if e2.IsPrimary() {
 		t.Fatal("backup became primary while primary alive")
 	}

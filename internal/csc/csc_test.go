@@ -99,14 +99,9 @@ func (f *fixture) addSSC(host string) {
 
 func (f *fixture) waitFor(what string, cond func() bool) {
 	f.t.Helper()
-	for i := 0; i < 600; i++ {
-		if cond() {
-			return
-		}
-		f.clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+	if !f.clk.Await(time.Second, 600, cond) {
+		f.t.Fatalf("condition never held: %s", what)
 	}
-	f.t.Fatalf("condition never held: %s", what)
 }
 
 func running(ctl *ssc.Controller, name string) bool {

@@ -139,7 +139,7 @@ func settle(clk *clock.Fake, d time.Duration) {
 	}
 	for i := 0; i < steps; i++ {
 		clk.Advance(500 * time.Millisecond)
-		time.Sleep(200 * time.Microsecond)
+		clk.Settle()
 	}
 }
 

@@ -35,11 +35,7 @@ func newNSFixture() (*nsFixture, error) {
 		return nil, err
 	}
 	f := &nsFixture{clk: clk, nw: nw, ns: ns}
-	for i := 0; i < 400 && !ns.IsMaster(); i++ {
-		clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
-	}
-	if !ns.IsMaster() {
+	if !clk.Await(time.Second, 400, ns.IsMaster) {
 		ns.Close()
 		return nil, fmt.Errorf("no master elected")
 	}
@@ -199,7 +195,8 @@ func storm(n int, backoff time.Duration) (nsReqs int64, recovered int64, wall ti
 	_ = adminSess.Root.Unbind("popular")
 
 	before := f.ns.Endpoint().Stats().Received
-	start := time.Now()
+	rt := clock.Real() // the storm is measured in real time by design
+	start := rt.Now()
 	var ok atomic.Int64
 	var wg sync.WaitGroup
 	for _, rb := range rebinders {
@@ -218,7 +215,7 @@ func storm(n int, backoff time.Duration) (nsReqs int64, recovered int64, wall ti
 	// genuinely retry against a missing binding (the backup-bind delay of
 	// §5.2); pump the fake clock meanwhile so backoff sleeps elapse.
 	go func() {
-		time.Sleep(60 * time.Millisecond)
+		rt.Sleep(60 * time.Millisecond)
 		svcEp2, err := orb.NewEndpoint(f.nw.Host("192.168.0.1"))
 		if err != nil {
 			return
@@ -231,10 +228,10 @@ func storm(n int, backoff time.Duration) (nsReqs int64, recovered int64, wall ti
 	for {
 		select {
 		case <-done:
-			return f.ns.Endpoint().Stats().Received - before, ok.Load(), time.Since(start)
+			return f.ns.Endpoint().Stats().Received - before, ok.Load(), rt.Since(start)
 		default:
 			f.clk.Advance(500 * time.Millisecond)
-			time.Sleep(200 * time.Microsecond)
+			f.clk.Settle()
 		}
 	}
 }
@@ -384,10 +381,11 @@ func E9NameService() *Table {
 	}
 	defer ep.Close()
 	root := names.Context{Ep: ep, Ref: reps[0].RootRef()}
-	bindStart := time.Now()
+	wall := clock.Real() // update latency is a wall-clock measurement
+	bindStart := wall.Now()
 	_ = root.Bind("probe", oref.Ref{Addr: "x:1", Incarnation: 1, TypeID: "t"})
 	t.Rows = append(t.Rows, row("update latency (bind, serialized via master)",
-		time.Since(bindStart).Truncate(time.Microsecond).String()))
+		wall.Since(bindStart).Truncate(time.Microsecond).String()))
 
 	// Partition away two replicas: updates refused, reads still served.
 	nw.Cut("192.168.0.2")
@@ -404,10 +402,7 @@ func E9NameService() *Table {
 }
 
 func waitCond(clk *clock.Fake, cond func() bool) {
-	for i := 0; i < 600 && !cond(); i++ {
-		clk.Advance(500 * time.Millisecond)
-		time.Sleep(500 * time.Microsecond)
-	}
+	clk.Await(500*time.Millisecond, 600, cond)
 }
 
 // resolveThroughput measures wall-clock resolve throughput with clients
@@ -453,7 +448,8 @@ func resolveThroughput(n int) float64 {
 	const duration = 100 * time.Millisecond
 	var total atomic.Int64
 	var wg sync.WaitGroup
-	stopAt := time.Now().Add(duration)
+	wall := clock.Real() // throughput is resolves per real second
+	stopAt := wall.Now().Add(duration)
 	for cI := 0; cI < clients; cI++ {
 		wg.Add(1)
 		go func(cI int) {
@@ -466,7 +462,7 @@ func resolveThroughput(n int) float64 {
 			// Each client uses "its" replica — the per-server locality the
 			// paper relies on.
 			r := names.Context{Ep: ep, Ref: reps[cI%n].RootRef()}
-			for time.Now().Before(stopAt) {
+			for wall.Now().Before(stopAt) {
 				if _, err := r.Resolve("svc-x"); err == nil {
 					total.Add(1)
 				}
@@ -492,7 +488,8 @@ func E14NewService() *Table {
 		return t
 	}
 	defer f.close()
-	start := time.Now()
+	wall := clock.Real() // the recipe's end-to-end time is wall-clock
+	start := wall.Now()
 
 	// Steps 1–3: interface + skeleton (hand-written here; generated by the
 	// IDL compiler in the paper's toolchain).
@@ -531,7 +528,7 @@ func E14NewService() *Table {
 		func(d *wire.Decoder) error { out = d.String(); return nil })
 	t.Rows = append(t.Rows,
 		row("6. client resolves and invokes", fmt.Sprintf("%q, err=%v", out, err)),
-		row("total wall time", time.Since(start).Truncate(time.Microsecond).String()),
+		row("total wall time", wall.Since(start).Truncate(time.Microsecond).String()),
 		row("paper", "~25 services in under 15 months with this recipe"))
 	return t
 }

@@ -53,14 +53,9 @@ func newFixture(t *testing.T) *fixture {
 
 func (f *fixture) waitFor(what string, cond func() bool) {
 	f.t.Helper()
-	for i := 0; i < 400; i++ {
-		if cond() {
-			return
-		}
-		f.clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+	if !f.clk.Await(time.Second, 400, cond) {
+		f.t.Fatalf("condition never held: %s", what)
 	}
-	f.t.Fatalf("condition never held: %s", what)
 }
 
 func TestCreateReadRemove(t *testing.T) {

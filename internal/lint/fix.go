@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixRawErrCmp mechanically rewrites every unsuppressed rawerrcmp binary
+// comparison in pkgs:
+//
+//	err == ErrX  ->  errors.Is(err, ErrX)
+//	err != ErrX  ->  !errors.Is(err, ErrX)
+//
+// adding the "errors" import where missing.  It reuses rawErrCmps — the
+// same enumeration the check reports from — so the fix and the
+// diagnostic can never disagree about what counts as an offense.
+// `switch err { case ErrX }` findings are reported but not rewritten:
+// turning a clause ladder into errors.Is conditions changes control
+// structure, which a mechanical fix must not do.
+//
+// Returns the files rewritten.  Each file is formatted with go/format
+// before writing, so a fix never leaves the tree un-gofmt-ed.
+func FixRawErrCmp(pkgs []*Package) ([]string, error) {
+	type edit struct {
+		start, end     int // byte span of the whole comparison
+		xs, xe, ys, ye int // byte spans of the two operands
+		negate         bool
+	}
+	var changed []string
+	for _, pkg := range pkgs {
+		pass := &Pass{Pkg: pkg, check: "rawerrcmp"}
+		cmps := rawErrCmps(pass)
+		if len(cmps) == 0 {
+			continue
+		}
+		sups, _ := collectSuppressions(pkg)
+
+		byFile := make(map[string][]edit)
+		for _, cmp := range cmps {
+			pos := pkg.Fset.Position(cmp.OpPos)
+			if suppressed(sups, Diagnostic{Check: "rawerrcmp", File: pos.Filename, Line: pos.Line}) {
+				continue
+			}
+			off := func(p token.Pos) int { return pkg.Fset.Position(p).Offset }
+			byFile[pos.Filename] = append(byFile[pos.Filename], edit{
+				start: off(cmp.Pos()), end: off(cmp.End()),
+				xs: off(cmp.X.Pos()), xe: off(cmp.X.End()),
+				ys: off(cmp.Y.Pos()), ye: off(cmp.Y.End()),
+				negate: cmp.Op == token.NEQ,
+			})
+		}
+
+		for file, edits := range byFile {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return changed, err
+			}
+			// Apply back-to-front so earlier offsets stay valid.
+			sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+			out := src
+			for _, e := range edits {
+				repl := "errors.Is(" + string(src[e.xs:e.xe]) + ", " + string(src[e.ys:e.ye]) + ")"
+				if e.negate {
+					repl = "!" + repl
+				}
+				out = append(out[:e.start], append([]byte(repl), out[e.end:]...)...)
+			}
+			out, err = ensureErrorsImport(out)
+			if err != nil {
+				return changed, fmt.Errorf("%s: %v", file, err)
+			}
+			formatted, err := format.Source(out)
+			if err != nil {
+				return changed, fmt.Errorf("%s: fix produced unparsable code: %v", file, err)
+			}
+			if err := os.WriteFile(file, formatted, 0o644); err != nil {
+				return changed, err
+			}
+			changed = append(changed, file)
+		}
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// ensureErrorsImport adds `"errors"` to the file's imports if absent.
+func ensureErrorsImport(src []byte) ([]byte, error) {
+	s := string(src)
+	if strings.Contains(s, "\"errors\"") {
+		return src, nil
+	}
+	if i := strings.Index(s, "import ("); i >= 0 {
+		j := i + len("import (")
+		return []byte(s[:j] + "\n\t\"errors\"" + s[j:]), nil
+	}
+	// No factored import block: add one after the package clause line.
+	i := strings.Index(s, "package ")
+	if i < 0 {
+		return nil, fmt.Errorf("no package clause")
+	}
+	nl := strings.IndexByte(s[i:], '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no newline after package clause")
+	}
+	j := i + nl + 1
+	return []byte(s[:j] + "\nimport \"errors\"\n" + s[j:]), nil
+}

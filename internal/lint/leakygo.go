@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// leakygo: `go func() { for { ... } }()` with no way to stop.
+//
+// Long-running services leak goroutines one restart at a time: every
+// SSC-driven service restart (§6.2) spawns fresh polling loops, and a
+// loop with no stop channel, no context, and no closing channel to
+// receive on outlives the service instance that spawned it.  Under the
+// fake clock these zombies also keep registering timers, so Advance
+// wakes an ever-growing crowd.  A goroutine literal whose infinite loop
+// can neither return, break, select, nor receive is unstoppable by
+// construction and gets flagged.
+type leakyGo struct{}
+
+func (leakyGo) Name() string { return "leakygo" }
+func (leakyGo) Doc() string {
+	return "go-routine literal with an unstoppable infinite loop (no select/receive/return/break)"
+}
+
+func (leakyGo) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond != nil {
+					return true
+				}
+				if loopIsStoppable(loop) {
+					return true
+				}
+				p.Reportf(loop.Pos(),
+					"infinite loop in a go-routine literal with no select, receive, return, or break; it outlives every service restart — give it a stop channel or ticker to block on")
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// loopIsStoppable reports whether the loop body contains any construct
+// that can end or pause the loop from outside: a select (the stop-channel
+// idiom), a channel receive (closing the channel releases it), a return,
+// or a break.  Nested function literals don't count — code in them runs
+// on someone else's stack.
+func loopIsStoppable(loop *ast.ForStmt) bool {
+	stoppable := false
+	inspectShallow(loop.Body, func(n ast.Node) bool {
+		if stoppable {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			stoppable = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				stoppable = true
+			}
+		case *ast.RangeStmt:
+			stoppable = true // ranging over a channel ends on close
+		case *ast.ReturnStmt:
+			stoppable = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				stoppable = true
+			}
+		}
+		return !stoppable
+	})
+	return stoppable
+}

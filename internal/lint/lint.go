@@ -1,0 +1,314 @@
+// Package lint is itv-vet's analyzer framework: a registry of
+// project-specific checks that enforce the OCS concurrency and
+// failure-handling invariants the Go compiler cannot see — object
+// references are mortal, services never block a mutex on a remote
+// invocation, recovery logic runs on the injected clock, goroutines have a
+// way to stop, and metric names follow one family convention.
+//
+// The framework is built directly on go/parser and go/types (see load.go);
+// it deliberately has no dependency outside the standard library so the
+// gate runs anywhere the toolchain does.  Checks report file:line:col
+// diagnostics; a `//lint:ignore <check> <reason>` comment on the offending
+// line (or the line above it) suppresses a finding, and the reason is
+// mandatory so every suppression documents why the invariant does not
+// apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed for humans and (via JSON) for CI.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one analyzer.
+type Check interface {
+	// Name is the registry key used in diagnostics and suppressions.
+	Name() string
+	// Doc is a one-line description for -list.
+	Doc() string
+	// Run inspects one package and reports through the pass.
+	Run(p *Pass)
+}
+
+// Pass carries one (check, package) execution.
+type Pass struct {
+	Pkg   *Package
+	check string
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is missing
+// (checks then fall back to syntax).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// IsNil reports whether e is the untyped nil (or the literal ident "nil"
+// when type information is missing).
+func (p *Pass) IsNil(e ast.Expr) bool {
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.IsNil() {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// PkgFunc matches a call to pkgPath.name (e.g. "time".Sleep) through the
+// type-checker's package-name resolution, falling back to the file's
+// imports when types are incomplete.
+func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		pn, ok := obj.(*types.PkgName)
+		return ok && pn.Imported().Path() == pkgPath
+	}
+	// Degraded mode: accept the conventional package identifier.
+	base := pkgPath
+	if i := strings.LastIndex(pkgPath, "/"); i >= 0 {
+		base = pkgPath[i+1:]
+	}
+	return id.Name == base
+}
+
+// Imports reports whether any file of the unit imports path.
+func (p *Pass) Imports(path string) bool {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == path {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) satisfies error.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// namedFrom unwraps aliases and pointers down to a named type, or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = deref(types.Unalias(t))
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// isNamed reports whether t is (a pointer to) the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// ---- suppression ----
+
+// IgnorePrefix starts a suppression comment: //lint:ignore <check> <reason>.
+const IgnorePrefix = "lint:ignore"
+
+type suppression struct {
+	check string
+	line  int
+}
+
+// suppressions scans a unit's comments.  Malformed directives (missing
+// check name or reason) are themselves reported, so a suppression can
+// never silently rot into a no-op.
+func collectSuppressions(pkg *Package) (map[string][]suppression, []Diagnostic) {
+	bySite := make(map[string][]suppression)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, IgnorePrefix))
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Check: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "malformed //lint:ignore: need a check name and a reason",
+					})
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					bySite[pos.Filename] = append(bySite[pos.Filename],
+						suppression{check: name, line: pos.Line})
+				}
+			}
+		}
+	}
+	return bySite, bad
+}
+
+func suppressed(sups map[string][]suppression, d Diagnostic) bool {
+	for _, s := range sups[d.File] {
+		if (s.check == d.Check || s.check == "all") &&
+			(s.line == d.Line || s.line == d.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes checks over packages, applies suppressions, and returns the
+// surviving diagnostics sorted by position.
+func Run(pkgs []*Package, checks []Check) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sups, bad := collectSuppressions(pkg)
+		out = append(out, bad...)
+		for _, c := range checks {
+			pass := &Pass{Pkg: pkg, check: c.Name()}
+			c.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(sups, d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// All returns the full registry in stable order.
+func All() []Check {
+	return []Check{
+		mutexAcrossRPC{},
+		rawErrCmp{},
+		sleepyClock{},
+		mortalRef{},
+		leakyGo{},
+		metricName{},
+	}
+}
+
+// ByName resolves a comma-separated check list; unknown names error.
+func ByName(names string) ([]Check, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]Check)
+	for _, c := range All() {
+		byName[c.Name()] = c
+	}
+	var out []Check
+	for _, n := range strings.Split(names, ",") {
+		c, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// walkFuncs visits every function body in the unit — declarations and
+// literals — calling fn with the enclosing node and body.  Literals are
+// visited as functions in their own right; lock-state analyses must not
+// leak across the goroutine/closure boundary.
+func walkFuncs(pkg *Package, fn func(node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals: their bodies execute on their own schedule.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if _, ok := child.(*ast.FuncLit); ok && child != n {
+			return false
+		}
+		return fn(child)
+	})
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+)
+
+// metricname: obs metric names must follow pkg_noun_verb.
+//
+// The /debug surface aggregates metrics across every node in the
+// cluster; a name is the only join key.  The repo's convention is
+// snake_case with the owning package as the first segment
+// (orb_client_calls, ras_probe_failures).  A name minted outside the
+// convention — camelCase, a stray dot, a single bare word — silently
+// forks the namespace and the dashboard never lines it up with its
+// siblings.  The check validates every string literal passed as the
+// name to Registry.Counter/Gauge/Histogram/HistogramBuckets and to
+// obs.L; the obs package itself (whose tests mint arbitrary names to
+// exercise the registry) is exempt.
+type metricName struct{}
+
+func (metricName) Name() string { return "metricname" }
+func (metricName) Doc() string {
+	return "obs metric name not in pkg_noun_verb form (lowercase snake_case, >=2 segments)"
+}
+
+// metricNameRE: lowercase snake_case, at least two segments, first
+// character alphabetic.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// registryCtors are the Registry methods whose first argument is a
+// metric name.
+var registryCtors = map[string]bool{
+	"Counter":          true,
+	"Gauge":            true,
+	"Histogram":        true,
+	"HistogramBuckets": true,
+}
+
+func (metricName) Run(p *Pass) {
+	obsPath := p.Pkg.ModPath + "/internal/obs"
+	if p.Pkg.Path == obsPath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isMetricNameCall(p, call, obsPath) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true // computed names are the caller's problem to keep lawful
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || metricNameRE.MatchString(name) {
+				return true
+			}
+			p.Reportf(lit.Pos(),
+				"metric name %q is not pkg_noun_verb (lowercase snake_case, >=2 segments); off-convention names never aggregate on the cluster /debug surface", name)
+			return true
+		})
+	}
+}
+
+// isMetricNameCall matches r.Counter/Gauge/Histogram/HistogramBuckets on
+// an *obs.Registry, and obs.L(...).
+func isMetricNameCall(p *Pass, call *ast.CallExpr, obsPath string) bool {
+	if p.PkgFunc(call, obsPath, "L") {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryCtors[sel.Sel.Name] {
+		return false
+	}
+	return isNamed(p.TypeOf(sel.X), obsPath, "Registry")
+}

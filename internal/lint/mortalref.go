@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mortalref: the error result of a remote invocation discarded.
+//
+// Object references are mortal (§3.2.1): any invocation can report that
+// the object behind the reference is gone, and orb.Dead(err) on that
+// error is the only signal that tells the client library to re-resolve
+// (§8.2).  A call statement that drops the result throws the death
+// certificate away — the stale reference will be used again and fail
+// again, forever.  An explicit `_ =` assignment is allowed: it documents
+// that the caller considered and declined the signal (e.g. best-effort
+// unbind on shutdown).
+type mortalRef struct{}
+
+func (mortalRef) Name() string { return "mortalref" }
+func (mortalRef) Doc() string {
+	return "error result of a remote invocation implicitly discarded; the dead-object signal (orb.Dead) is lost"
+}
+
+func (mortalRef) Run(p *Pass) {
+	report := func(call *ast.CallExpr, how string) {
+		desc, seed := isRemoteSeed(p, call)
+		if !seed || !returnsError(p, call) {
+			return
+		}
+		p.Reportf(call.Pos(),
+			"%s of remote invocation %s discards its error; the dead-object signal (orb.Dead) is lost — handle it or assign to _ deliberately",
+			how, desc)
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "call statement")
+				}
+			case *ast.GoStmt:
+				report(n.Call, "go statement")
+			case *ast.DeferStmt:
+				report(n.Call, "defer statement")
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if implementsError(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// mutexacrossrpc: a sync.Mutex/RWMutex held across a remote invocation.
+//
+// The paper's audit architecture makes this a distributed deadlock, not a
+// style nit: the RAS answers peer status questions by calling back into
+// the very services it audits (§7.2), and the SSC's registration replay
+// re-enters services on restart.  A service that blocks a mutex on an ORB
+// call can therefore end up waiting on a peer that is waiting on that
+// same mutex — across two machines, where no runtime can detect the
+// cycle.  The rule: snapshot state under the lock, release it, invoke.
+type mutexAcrossRPC struct{}
+
+func (mutexAcrossRPC) Name() string { return "mutexacrossrpc" }
+func (mutexAcrossRPC) Doc() string {
+	return "mutex held across an orb remote invocation (distributed-deadlock risk with RAS/SSC callbacks)"
+}
+
+// lockKind classifies a mutex method.
+func lockKind(name string) (acquire, release bool) {
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true, false
+	case "Unlock", "RUnlock":
+		return false, true
+	}
+	return false, false
+}
+
+// isMutexRecv reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex, or a named type embedding one (the `struct{ sync.Mutex }`
+// idiom).
+func isMutexRecv(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex") {
+		return true
+	}
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && (isNamed(f.Type(), "sync", "Mutex") || isNamed(f.Type(), "sync", "RWMutex")) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprKey renders the mutex owner expression ("rb.mu") as a state key.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[...]"
+	}
+	return "?"
+}
+
+func (mutexAcrossRPC) Run(p *Pass) {
+	performers := remotePerformers(p)
+
+	walkFuncs(p.Pkg, func(_ ast.Node, body *ast.BlockStmt) {
+		// Events in source order: acquisitions, releases, remote calls.
+		type event struct {
+			pos      token.Pos
+			key      string // mutex key for acquire/release
+			acquire  bool
+			release  bool
+			deferred bool   // release registered via defer (held to return)
+			remote   string // non-empty: a remote call description
+		}
+		var events []event
+
+		inspectShallow(body, func(n ast.Node) bool {
+			deferred := false
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				if d, isDefer := n.(*ast.DeferStmt); isDefer {
+					call, deferred = d.Call, true
+				} else {
+					return true
+				}
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if acq, rel := lockKind(sel.Sel.Name); acq || rel {
+					if isMutexRecv(p.TypeOf(sel.X)) {
+						events = append(events, event{
+							pos: call.Pos(), key: exprKey(sel.X),
+							acquire: acq, release: rel, deferred: deferred,
+						})
+						return true
+					}
+				}
+			}
+			if desc, seed := isRemoteSeed(p, call); seed {
+				events = append(events, event{pos: call.Pos(), remote: desc})
+			} else if obj := calleeObject(p, call); obj != nil && performers[obj] {
+				events = append(events, event{pos: call.Pos(), remote: obj.Name() + " (performs remote calls)"})
+			}
+			return true
+		})
+
+		// Linear simulation.  Source order approximates execution order;
+		// a release anywhere clears the key (conservative toward silence
+		// on branches), while a deferred release pins the key until
+		// return — the Lock/defer-Unlock idiom.
+		held := map[string]bool{}
+		pinned := map[string]bool{}
+		for _, ev := range events {
+			switch {
+			case ev.acquire:
+				held[ev.key] = true
+			case ev.release && ev.deferred:
+				pinned[ev.key] = true
+			case ev.release:
+				if !pinned[ev.key] {
+					delete(held, ev.key)
+				}
+			case ev.remote != "":
+				if len(held) > 0 {
+					keys := make([]string, 0, len(held))
+					for k := range held {
+						keys = append(keys, k)
+					}
+					sort.Strings(keys)
+					p.Reportf(ev.pos,
+						"remote invocation %s while holding %s; release the mutex before calling out (RAS/SSC callbacks can re-enter and deadlock the cluster)",
+						ev.remote, strings.Join(keys, ", "))
+				}
+			}
+		}
+	})
+}

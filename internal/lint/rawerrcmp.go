@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// rawerrcmp: `==`/`!=` against error values instead of errors.Is.
+//
+// Since the ORB wraps transport failures in *orb.ConnError (preserving
+// read vs decode vs write vs timeout causes while still matching
+// ErrUnreachable through Unwrap), a raw pointer comparison against a
+// sentinel silently stops matching the moment anyone adds a wrapping
+// layer — which is exactly how `err == ErrNoSuchMethod` rotted in
+// endpoint.go.  Object mortality (§8.2) is decided by these checks, so
+// they must see through wrapping: always errors.Is.
+type rawErrCmp struct{}
+
+func (rawErrCmp) Name() string { return "rawerrcmp" }
+func (rawErrCmp) Doc() string {
+	return "raw ==/!= comparison of error values; use errors.Is so wrapped failures (orb.ConnError) still match"
+}
+
+func (rawErrCmp) Run(p *Pass) {
+	for _, cmp := range rawErrCmps(p) {
+		verb := "=="
+		if cmp.Op == token.NEQ {
+			verb = "!="
+		}
+		p.Reportf(cmp.OpPos,
+			"error compared with %s; use errors.Is (sentinels may arrive wrapped, e.g. in *orb.ConnError)", verb)
+	}
+	// switch err { case ErrX: } is the same comparison in clause clothing.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil || !implementsError(p.TypeOf(sw.Tag)) {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				for _, e := range cc.List {
+					if !p.IsNil(e) {
+						p.Reportf(e.Pos(),
+							"switch on an error value compares identities; use a switch { case errors.Is(...) } ladder")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rawErrCmps returns every offending comparison; the -fix rewriter reuses
+// this list so the check and the fix can never disagree.
+func rawErrCmps(p *Pass) []*ast.BinaryExpr {
+	var out []*ast.BinaryExpr
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if p.IsNil(cmp.X) || p.IsNil(cmp.Y) {
+				return true // err == nil is the one sanctioned identity test
+			}
+			lt, rt := p.TypeOf(cmp.X), p.TypeOf(cmp.Y)
+			if lt != nil || rt != nil {
+				if implementsError(lt) || implementsError(rt) {
+					out = append(out, cmp)
+				}
+				return true
+			}
+			// Degraded mode (no type info): match the sentinel naming
+			// convention on either side.
+			if looksLikeSentinel(cmp.X) || looksLikeSentinel(cmp.Y) {
+				out = append(out, cmp)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func looksLikeSentinel(e ast.Expr) bool {
+	name := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	return len(name) > 3 && name[:3] == "Err" && name[3] >= 'A' && name[3] <= 'Z'
+}

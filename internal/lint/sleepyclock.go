@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// sleepyclock: package time used where the injected clock.Clock is
+// reachable.
+//
+// Every fail-over number the paper reports (§9.7: 10 s bind retry + 10 s
+// name-service poll + 5 s RAS poll) is polling-interval arithmetic, and
+// the repo reproduces it on internal/clock's fake clock so recovery runs
+// in simulated time.  A stray time.Sleep or time.Now in that world either
+// stalls a test for real seconds or — worse — races the fake clock and
+// flakes only under load.  The check fires in any package that imports
+// itv/internal/clock (the signal that a Clock is reachable); the clock
+// package itself, which wraps package time, is exempt.  Tests should poll
+// with clock.Fake.Await/Settle instead of sleeping.
+type sleepyClock struct{}
+
+func (sleepyClock) Name() string { return "sleepyclock" }
+func (sleepyClock) Doc() string {
+	return "time.Sleep/Now/After/... where a clock.Clock is reachable; use the injected clock (or clock.Fake.Await/Settle in tests)"
+}
+
+// sleepyFuncs maps banned time functions to their sanctioned substitute.
+var sleepyFuncs = map[string]string{
+	"Sleep":     "clock.Clock.Sleep (tests: clock.Fake.Await/Settle)",
+	"Now":       "clock.Clock.Now",
+	"After":     "clock.Clock.After",
+	"AfterFunc": "clock.Clock.After + goroutine",
+	"Tick":      "clock.Clock.NewTicker",
+	"NewTicker": "clock.Clock.NewTicker",
+	"NewTimer":  "clock.Clock.After",
+	"Since":     "clock.Clock.Since",
+	"Until":     "clock.Clock.Now arithmetic",
+}
+
+func (sleepyClock) Run(p *Pass) {
+	clockPath := p.Pkg.ModPath + "/internal/clock"
+	if p.Pkg.Path == clockPath {
+		return
+	}
+	if !p.Imports(clockPath) {
+		return // no clock in reach; real time is all this package has
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for name, instead := range sleepyFuncs {
+				if p.PkgFunc(call, "time", name) {
+					p.Reportf(call.Pos(),
+						"time.%s in a package where clock.Clock is reachable; use %s so fail-over logic stays deterministic under the fake clock",
+						name, instead)
+				}
+			}
+			return true
+		})
+	}
+}

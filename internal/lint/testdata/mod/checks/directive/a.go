@@ -1,0 +1,19 @@
+// Package directive holds the malformed-suppression fixture: the
+// directive below is missing its mandatory reason, so it is reported
+// under the "directive" check and the finding it meant to silence
+// survives.  Expectations are asserted directly in TestMalformedDirective
+// (a want comment cannot share a line with the directive itself).
+package directive
+
+import (
+	"time"
+
+	"golden/internal/clock"
+)
+
+var _ clock.Clock
+
+func ok() {
+	//lint:ignore sleepyclock
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,48 @@
+package leakygo
+
+// positive: nothing can ever stop this loop.
+func bad(work func()) {
+	go func() {
+		for { // want "infinite loop"
+			work()
+		}
+	}()
+}
+
+// negative: the stop-channel idiom.
+func good(stop chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// negative: a blocking receive ends when the channel closes.
+func goodRecv(in chan int, sink func(int)) {
+	go func() {
+		for v := range in {
+			sink(v)
+		}
+	}()
+}
+
+// negative: only goroutine literals are in scope; named methods are the
+// callee's responsibility.
+type pump struct{ stop chan struct{} }
+
+func (p *pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func goodNamed(p *pump) { go p.loop() }

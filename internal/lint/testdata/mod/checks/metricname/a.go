@@ -1,0 +1,16 @@
+package metricname
+
+import "golden/internal/obs"
+
+func register(r *obs.Registry) {
+	r.Counter("badName")       // want "not pkg_noun_verb"
+	r.Histogram("svc.latency") // want "not pkg_noun_verb"
+	_ = obs.L("Svc_Weird")     // want "not pkg_noun_verb"
+
+	// negatives: the house convention, and computed names (out of scope).
+	r.Counter("svc_calls_total")
+	r.Gauge("svc_queue_depth")
+	_ = obs.L("svc_peer_calls", "peer", "a")
+	name := "svc_dynamic_total"
+	r.Counter(name)
+}

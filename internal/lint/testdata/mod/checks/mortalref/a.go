@@ -1,0 +1,27 @@
+package mortalref
+
+import "golden/internal/orb"
+
+type Invoker interface {
+	Invoke(ref orb.Ref, method string) error
+}
+
+type Stub struct{ Ep Invoker }
+
+func (s Stub) Put() error { return s.Ep.Invoke(orb.Ref{}, "put") }
+
+// positives: three statement forms that silently drop the error.
+func bad(ep *orb.Endpoint, s Stub) {
+	ep.Ping("host") // want "discards its error"
+	go s.Put()      // want "go statement"
+	defer s.Put()   // want "defer statement"
+}
+
+// negatives: handled, or explicitly discarded with _.
+func good(ep *orb.Endpoint, s Stub) error {
+	_ = ep.Ping("host")
+	if err := s.Put(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package rawerrcmp
+
+import (
+	"errors"
+
+	"golden/internal/orb"
+)
+
+// positive: identity comparison against a sentinel.
+func bad(err error) bool {
+	return err == orb.ErrUnreachable // want "errors.Is"
+}
+
+// positive: the != form.
+func badNeq(err error) bool {
+	return err != orb.ErrNoSuchMethod // want "errors.Is"
+}
+
+// positive: the same comparison in switch-clause clothing.
+func badSwitch(err error) string {
+	switch err {
+	case orb.ErrUnreachable: // want "switch on an error value"
+		return "u"
+	case nil:
+		return ""
+	}
+	return "?"
+}
+
+// negative: errors.Is and the sanctioned nil test.
+func good(err error) bool {
+	return errors.Is(err, orb.ErrUnreachable) || err == nil
+}

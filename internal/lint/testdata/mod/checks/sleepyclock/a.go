@@ -1,0 +1,19 @@
+package sleepyclock
+
+import (
+	"time"
+
+	"golden/internal/clock"
+)
+
+// positive: package time used while a clock.Clock is in scope.
+func bad(c clock.Clock) {
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	_ = time.Now()               // want "time.Now"
+}
+
+// negative: the injected clock is the sanctioned source of time.
+func good(c clock.Clock) time.Time {
+	c.Sleep(time.Millisecond)
+	return c.Now()
+}

@@ -1,0 +1,10 @@
+// Package sleepyclock_noclock does not import the clock package, so no
+// Clock is reachable and real time is all it has: the check stays silent.
+package sleepyclock_noclock
+
+import "time"
+
+func fine() {
+	time.Sleep(time.Millisecond)
+	_ = time.Now()
+}

@@ -1,0 +1,22 @@
+package suppress
+
+import (
+	"time"
+
+	"golden/internal/clock"
+)
+
+var _ clock.Clock
+
+func ok() {
+	//lint:ignore sleepyclock measuring real wall-clock on purpose
+	time.Sleep(time.Millisecond)
+
+	time.Sleep(time.Millisecond) //lint:ignore sleepyclock same-line suppression
+
+	//lint:ignore all blanket suppression with a reason
+	time.Sleep(time.Millisecond)
+
+	//lint:ignore rawerrcmp wrong check name does not suppress
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}

@@ -1,0 +1,3 @@
+module golden
+
+go 1.22

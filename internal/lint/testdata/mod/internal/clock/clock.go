@@ -1,0 +1,10 @@
+// Package clock is a miniature stand-in for itv/internal/clock; its
+// presence in an import list is what arms the sleepyclock check.
+package clock
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}

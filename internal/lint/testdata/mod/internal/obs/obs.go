@@ -1,0 +1,17 @@
+// Package obs is a miniature stand-in for itv/internal/obs: the Registry
+// constructors and L, whose first arguments metricname validates.
+package obs
+
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+func L(name string, kv ...string) string { return name }

@@ -1,0 +1,19 @@
+// Package orb is a miniature stand-in for itv/internal/orb, just enough
+// shape for the analyzers: an Endpoint with the three RPC methods and a
+// couple of sentinel errors.
+package orb
+
+import "errors"
+
+type Ref struct{ ID string }
+
+type Endpoint struct{}
+
+func (e *Endpoint) Invoke(ref Ref, method string) error   { return nil }
+func (e *Endpoint) Ping(host string) error                { return nil }
+func (e *Endpoint) MetricsOf(host string) (string, error) { return "", nil }
+
+var (
+	ErrUnreachable  = errors.New("unreachable")
+	ErrNoSuchMethod = errors.New("no such method")
+)

@@ -92,14 +92,9 @@ func (f *fixture) session(host string) *core.Session {
 
 func (f *fixture) waitFor(what string, cond func() bool) {
 	f.t.Helper()
-	for i := 0; i < 600; i++ {
-		if cond() {
-			return
-		}
-		f.clk.Advance(time.Second)
-		time.Sleep(time.Millisecond)
+	if !f.clk.Await(time.Second, 600, cond) {
+		f.t.Fatalf("condition never held: %s", what)
 	}
-	f.t.Fatalf("condition never held: %s", what)
 }
 
 func TestOpenChoosesReplicaWithTitle(t *testing.T) {
@@ -188,7 +183,7 @@ func TestNotPrimaryRefusesOpen(t *testing.T) {
 	t.Cleanup(backup.Close)
 	// The backup never becomes primary while f.svc lives.
 	f.clk.Advance(20 * time.Second)
-	time.Sleep(3 * time.Millisecond)
+	f.clk.Settle()
 	if _, _, err := backup.Open("T2", "10.1.0.5"); !orb.IsApp(err, orb.ExcUnavailable) {
 		t.Fatalf("err = %v", err)
 	}

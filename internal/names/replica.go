@@ -564,6 +564,14 @@ func (r *Replica) submit(u *update) (newID string, err error) {
 		}
 		// Failures are fine: a lagging slave detects the sequence gap at
 		// the next heartbeat and pulls a snapshot.
+		//
+		// replMu is held across this Invoke on purpose: it exists solely
+		// to keep the multicast in sequence order (§4.6 — the master
+		// "serializes them and multicasts them to the slaves").  Slaves
+		// handle "update" without calling back into the master, and
+		// forwarded client updates arrive on their own handler
+		// goroutines, so no lock cycle can form.
+		//lint:ignore mutexacrossrpc replMu orders the multicast; slaves never call back under it
 		_ = r.ep.Invoke(r.peerRef(p), "update",
 			func(e *wire.Encoder) {
 				e.PutInt(term)

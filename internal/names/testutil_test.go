@@ -52,18 +52,13 @@ func newNSCluster(t *testing.T, n int) *nsCluster {
 	return c
 }
 
-// waitFor advances the fake clock in steps until cond holds, giving the
-// runtime brief real-time slices between steps for goroutines to react.
+// waitFor advances the fake clock in steps until cond holds, letting
+// goroutines react between steps.
 func (c *nsCluster) waitFor(what string, cond func() bool) {
 	c.t.Helper()
-	for i := 0; i < 400; i++ {
-		if cond() {
-			return
-		}
-		c.clk.Advance(500 * time.Millisecond)
-		time.Sleep(time.Millisecond)
+	if !c.clk.Await(500*time.Millisecond, 400, cond) {
+		c.t.Fatalf("condition never held: %s", what)
 	}
-	c.t.Fatalf("condition never held: %s", what)
 }
 
 // waitForMaster waits until exactly one live replica is master and returns

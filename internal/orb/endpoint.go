@@ -413,7 +413,7 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 	case err == nil:
 		resp.Status = statusOK
 		resp.Body = call.results.Bytes()
-	case err == ErrNoSuchMethod:
+	case errors.Is(err, ErrNoSuchMethod):
 		resp.Status = statusNoSuchMethod
 		resp.ErrMsg = req.Method
 	default:

@@ -44,7 +44,7 @@ func TestExitIdempotent(t *testing.T) {
 	p.Exit(failure)
 	p.Exit(nil)
 	p.Kill()
-	if p.Err() != failure {
+	if !errors.Is(p.Err(), failure) {
 		t.Fatalf("Err = %v, want first exit's error", p.Err())
 	}
 }

@@ -98,14 +98,9 @@ func newFixture(t *testing.T) *fixture {
 
 func (f *fixture) waitFor(what string, cond func() bool) {
 	f.t.Helper()
-	for i := 0; i < 400; i++ {
-		if cond() {
-			return
-		}
-		f.clk.Advance(500 * time.Millisecond)
-		time.Sleep(time.Millisecond)
+	if !f.clk.Await(500*time.Millisecond, 400, cond) {
+		f.t.Fatalf("condition never held: %s", what)
 	}
-	f.t.Fatalf("condition never held: %s", what)
 }
 
 func TestStartAndStopService(t *testing.T) {
@@ -126,7 +121,7 @@ func TestStartAndStopService(t *testing.T) {
 	f.waitFor("service stopped", func() bool { return len(f.ctl.Running()) == 0 })
 	// Deliberate stop must NOT restart.
 	f.clk.Advance(10 * time.Second)
-	time.Sleep(5 * time.Millisecond)
+	f.clk.Settle()
 	if n := f.ts.startCount(); n != 1 {
 		t.Fatalf("starts = %d after deliberate stop, want 1", n)
 	}
@@ -262,7 +257,7 @@ func TestSSCCrashKillsChildren(t *testing.T) {
 	}
 	// No restart happens after a crash.
 	f.clk.Advance(30 * time.Second)
-	time.Sleep(5 * time.Millisecond)
+	f.clk.Settle()
 	if n := f.ts.startCount(); n != 1 {
 		t.Fatalf("starts = %d after SSC crash, want 1", n)
 	}

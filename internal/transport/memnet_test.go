@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -93,7 +94,7 @@ func TestMemnetCallerAddressVisible(t *testing.T) {
 func TestMemnetDialRefusedNoListener(t *testing.T) {
 	nw := NewNetwork()
 	client := nw.Host("10.1.0.1")
-	if _, err := client.Dial("192.168.0.9:1024"); err != ErrRefused {
+	if _, err := client.Dial("192.168.0.9:1024"); !errors.Is(err, ErrRefused) {
 		t.Fatalf("err = %v, want ErrRefused", err)
 	}
 }
@@ -129,12 +130,12 @@ func TestMemnetCutSeversAndRefuses(t *testing.T) {
 	sc.Close()
 
 	// New dials refused.
-	if _, err := client.Dial(addr); err != ErrUnreachable {
+	if _, err := client.Dial(addr); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("dial to cut host err = %v, want ErrUnreachable", err)
 	}
 
 	// Dials from a cut host also fail.
-	if _, err := server.Dial(addr); err != ErrUnreachable {
+	if _, err := server.Dial(addr); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("dial from cut host err = %v, want ErrUnreachable", err)
 	}
 
@@ -157,10 +158,10 @@ func TestMemnetListenerClose(t *testing.T) {
 	client := nw.Host("10.1.0.1")
 	ln, addr, _ := server.Listen()
 	ln.Close()
-	if _, err := client.Dial(addr); err != ErrRefused {
+	if _, err := client.Dial(addr); !errors.Is(err, ErrRefused) {
 		t.Fatalf("dial to closed listener err = %v, want ErrRefused", err)
 	}
-	if _, err := ln.Accept(); err != ErrClosed {
+	if _, err := ln.Accept(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("accept on closed listener err = %v, want ErrClosed", err)
 	}
 	// Double close is safe.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -118,7 +119,7 @@ func TestDecoderLatchesError(t *testing.T) {
 	}
 	_ = d.String()
 	_ = d.Bool()
-	if d.Err() != first {
+	if !errors.Is(d.Err(), first) {
 		t.Fatal("error not latched")
 	}
 }
@@ -172,13 +173,13 @@ func TestFrameEmptyPayload(t *testing.T) {
 
 func TestFrameOversizeRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err != ErrTooLarge {
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversize write err = %v, want ErrTooLarge", err)
 	}
 	// Hostile header.
 	buf.Reset()
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := ReadFrame(&buf); err != ErrTooLarge {
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversize read err = %v, want ErrTooLarge", err)
 	}
 }
