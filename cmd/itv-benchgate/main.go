@@ -1,0 +1,139 @@
+// itv-benchgate parses `go test -bench` output and enforces the committed
+// allocation budget for the RPC hot path, so a PR that quietly re-adds
+// per-call garbage fails CI rather than landing.
+//
+// Usage (see .github/workflows/ci.yml):
+//
+//	go test -run xxx -bench 'ORBInvoke|WireRoundTrip' -benchmem -benchtime=1x . \
+//	  | go run ./cmd/itv-benchgate -baseline BENCH_pr3.json -out bench_ci.json
+//
+// The baseline file carries both the recorded perf trajectory (before/after
+// of the PR that introduced it) and a "gates" section mapping benchmark
+// names to the maximum allocs/op CI tolerates.  The tool writes the parsed
+// results as a JSON artifact and exits nonzero on any gate breach.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"` // custom metrics (wire_B/op, frames/op, ...)
+}
+
+// baseline mirrors the committed BENCH_*.json schema.
+type baseline struct {
+	Gates map[string]struct {
+		MaxAllocsOp float64 `json:"max_allocs_op"`
+	} `json:"gates"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkORBInvoke-8  269827  8417 ns/op  1.000 frames/op  27.94 wire_B/op  1608 B/op  33 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_*.json with a gates section")
+	outPath := flag.String("out", "", "write parsed results as JSON here")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itv-benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "itv-benchgate: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *outPath != "" {
+		blob, _ := json.MarshalIndent(map[string]any{"results": results}, "", "  ")
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "itv-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	if *baselinePath != "" {
+		var base baseline
+		blob, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itv-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(blob, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "itv-benchgate: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		for name, gate := range base.Gates {
+			r, ok := results[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "GATE MISSING  %-28s not found in bench output\n", name)
+				failed = true
+				continue
+			}
+			if r.AllocsOp > gate.MaxAllocsOp {
+				fmt.Fprintf(os.Stderr, "GATE FAIL     %-28s %.0f allocs/op > budget %.0f\n",
+					name, r.AllocsOp, gate.MaxAllocsOp)
+				failed = true
+			} else {
+				fmt.Printf("gate ok       %-28s %.0f allocs/op <= budget %.0f\n",
+					name, r.AllocsOp, gate.MaxAllocsOp)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output, returning results keyed by benchmark
+// name with the -GOMAXPROCS suffix stripped.
+func parse(f *os.File) (map[string]benchResult, error) {
+	results := make(map[string]benchResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		r := benchResult{Extra: map[string]float64{}}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp = v
+			case "B/op":
+				r.BOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		if len(r.Extra) == 0 {
+			r.Extra = nil
+		}
+		results[m[1]] = r
+	}
+	return results, sc.Err()
+}

@@ -16,25 +16,32 @@ type clientConn struct {
 	conn net.Conn
 	m    *epMetrics
 
+	// wenc is the request-frame scratch encoder, guarded by writeMu: the
+	// request marshals (header and payload in one owned buffer, see
+	// wire.AppendFrame) and writes under the same critical section, so one
+	// buffer serves every call on the connection.
 	writeMu sync.Mutex
+	wenc    wire.Encoder
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan *response
+	pending map[uint64]*waiter
 	dead    bool
 	err     error
 }
 
 func newClientConn(conn net.Conn, m *epMetrics) *clientConn {
-	cc := &clientConn{conn: conn, m: m, pending: make(map[uint64]chan *response)}
+	cc := &clientConn{conn: conn, m: m, pending: make(map[uint64]*waiter)}
 	go cc.readLoop()
 	return cc
 }
 
 func (cc *clientConn) readLoop() {
 	for {
-		frame, err := wire.ReadFrame(cc.conn)
+		rf := getRespFrame()
+		frame, err := wire.ReadFrameInto(cc.conn, rf.buf)
 		if err != nil {
+			putRespFrame(rf)
 			// Peer crash, severed connection, or endpoint shutdown: the
 			// frame read fails first.
 			if cc.fail(&ConnError{Op: "read", Err: err}) {
@@ -42,21 +49,32 @@ func (cc *clientConn) readLoop() {
 			}
 			return
 		}
-		var resp response
-		if err := wire.Unmarshal(frame, &resp); err != nil {
+		rf.buf = frame
+		rf.dec.Reset(frame)
+		rf.resp.UnmarshalWire(&rf.dec)
+		if rf.dec.Err() != nil || rf.dec.Remaining() != 0 {
 			// Protocol corruption is a different disease than a dead peer;
 			// keep the cause and count the class separately.
-			if cc.fail(&ConnError{Op: "decode", Err: err}) {
+			derr := rf.dec.Err()
+			if derr == nil {
+				derr = wire.ErrTruncated // trailing garbage
+			}
+			putRespFrame(rf)
+			if cc.fail(&ConnError{Op: "decode", Err: derr}) {
 				cc.m.decodeErrors.Inc()
 			}
 			return
 		}
 		cc.mu.Lock()
-		ch, ok := cc.pending[resp.ReqID]
-		delete(cc.pending, resp.ReqID)
+		w, ok := cc.pending[rf.resp.ReqID]
+		delete(cc.pending, rf.resp.ReqID)
 		cc.mu.Unlock()
 		if ok {
-			ch <- &resp
+			// Ownership of rf (and its frame buffer) passes to the waiter.
+			w.ch <- rf
+		} else {
+			// Response after the caller timed out: nobody owns it, recycle.
+			putRespFrame(rf)
 		}
 	}
 }
@@ -73,11 +91,11 @@ func (cc *clientConn) fail(err error) bool {
 	cc.dead = true
 	cc.err = err
 	pending := cc.pending
-	cc.pending = map[uint64]chan *response{}
+	cc.pending = map[uint64]*waiter{}
 	cc.mu.Unlock()
 	cc.conn.Close()
-	for _, ch := range pending {
-		ch <- nil
+	for _, w := range pending {
+		w.ch <- nil
 	}
 	return true
 }
@@ -93,52 +111,87 @@ func (cc *clientConn) failure() error {
 	return ErrUnreachable
 }
 
-// roundTrip sends one request and waits for its response or timeout.
-func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*response, error) {
-	ch := make(chan *response, 1)
+// roundTrip sends one request and waits for its response or timeout.  On
+// success the returned respFrame — response plus the borrowed frame buffer
+// its Body aliases — is owned by the caller, who must release it with
+// putRespFrame after decoding.
+func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*respFrame, error) {
+	w := getWaiter(timeout)
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.err
 		cc.mu.Unlock()
+		putWaiter(w, false)
 		return nil, err
 	}
 	cc.nextID++
-	req.ReqID = cc.nextID
-	cc.pending[req.ReqID] = ch
+	id := cc.nextID
+	req.ReqID = id
+	cc.pending[id] = w
 	cc.mu.Unlock()
 
-	payload := wire.Marshal(req)
 	cc.writeMu.Lock()
-	err := wire.WriteFrame(cc.conn, payload)
+	cc.wenc.Reset()
+	err := wire.AppendFrame(&cc.wenc, req)
+	if err == nil {
+		_, err = cc.conn.Write(cc.wenc.Bytes())
+	}
 	cc.writeMu.Unlock()
 	if err != nil {
 		werr := &ConnError{Op: "write", Err: err}
 		if cc.fail(werr) {
 			cc.m.writeErrors.Inc()
 		}
+		// fail released every registered waiter (ours included) with nil,
+		// unless the read loop claimed ours first — either way exactly one
+		// delivery is in flight; take it so the waiter can be pooled.
+		if rf := <-w.ch; rf != nil {
+			putRespFrame(rf)
+		}
+		putWaiter(w, false)
 		return nil, werr
 	}
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
-	case resp := <-ch:
-		if resp == nil {
+	case rf := <-w.ch:
+		putWaiter(w, false)
+		if rf == nil {
 			// The read loop killed the connection; report its diagnosis,
 			// not a generic unreachable.
 			return nil, cc.failure()
 		}
-		return resp, nil
-	case <-timer.C:
+		return rf, nil
+	case <-w.timer.C:
 		cc.mu.Lock()
-		delete(cc.pending, req.ReqID)
+		_, present := cc.pending[id]
+		delete(cc.pending, id)
 		cc.mu.Unlock()
+		if !present {
+			// The read loop (or fail) claimed the waiter concurrently with
+			// the timeout; its delivery is in flight.  Take it so the
+			// pooled waiter's channel is empty for the next call.
+			if rf := <-w.ch; rf != nil {
+				putRespFrame(rf)
+			}
+		}
+		putWaiter(w, true)
 		cc.m.callTimeouts.Inc()
 		return nil, &ConnError{Op: "timeout", Err: errCallTimeout}
 	}
 }
 
+// dialWait is one in-flight dial that concurrent callers to the same
+// address share instead of racing their own (§8.2's recovery storms start
+// exactly this way: N settops re-resolve and stampede one server).
+type dialWait struct {
+	done chan struct{}
+	cc   *clientConn
+	err  error
+}
+
 // getConn returns a live pooled connection to addr, dialing if needed.
+// Concurrent first calls to one address share a single dial: exactly one
+// caller dials, the rest wait on it (counted in poolDialShared).
 func (e *Endpoint) getConn(addr string) (*clientConn, error) {
 	e.mu.Lock()
 	if e.closed {
@@ -156,8 +209,32 @@ func (e *Endpoint) getConn(addr string) (*clientConn, error) {
 		}
 		delete(e.conns, addr)
 	}
+	if dw, ok := e.dialing[addr]; ok {
+		e.mu.Unlock()
+		e.metrics.poolDialShared.Inc()
+		<-dw.done
+		if dw.err != nil {
+			return nil, dw.err
+		}
+		return dw.cc, nil
+	}
+	dw := &dialWait{done: make(chan struct{})}
+	e.dialing[addr] = dw
 	e.mu.Unlock()
 
+	cc, err := e.dialNew(addr)
+	dw.cc, dw.err = cc, err
+
+	e.mu.Lock()
+	delete(e.dialing, addr)
+	e.mu.Unlock()
+	close(dw.done)
+	return cc, err
+}
+
+// dialNew performs the one real dial for an address (the caller holds the
+// singleflight slot) and registers the connection.
+func (e *Endpoint) dialNew(addr string) (*clientConn, error) {
 	e.metrics.poolDials.Inc()
 	conn, err := e.tr.Dial(addr)
 	if err != nil {
@@ -177,7 +254,8 @@ func (e *Endpoint) getConn(addr string) (*clientConn, error) {
 		dead := existing.dead
 		existing.mu.Unlock()
 		if !dead {
-			// Lost the dial race; use the established connection.
+			// Another path established a connection first (e.g. a waiter's
+			// own retry); use it.
 			e.mu.Unlock()
 			cc.fail(ErrShutdown)
 			return existing, nil
@@ -192,6 +270,10 @@ func (e *Endpoint) getConn(addr string) (*clientConn, error) {
 // encodes the arguments; get (may be nil) decodes the results.  Failures
 // are reported as ErrUnreachable, ErrInvalidReference, ErrNoSuchMethod, or
 // *AppError; Dead(err) tells the caller whether to re-resolve (§8.2).
+//
+// Slices obtained inside get via Decoder.BytesView alias a pooled frame
+// buffer and must not be retained past the callback; Decoder.Bytes copies
+// and is always safe.
 func (e *Endpoint) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	if ref.IsNil() {
 		return ErrInvalidReference
@@ -224,19 +306,23 @@ func (e *Endpoint) invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 		return e.invokeLocal(ref, method, put, get)
 	}
 
-	enc := wire.NewEncoder(64)
+	enc := wire.GetEncoder()
 	if put != nil {
 		put(enc)
 	}
-	req := &request{
-		ObjectID:    ref.ObjectID,
-		Incarnation: ref.Incarnation,
-		Method:      method,
-		Body:        enc.Bytes(),
-	}
+	req := getRequest()
+	req.ObjectID = ref.ObjectID
+	req.Incarnation = ref.Incarnation
+	req.Method = method
+	req.Body = enc.Bytes()
 	if a := e.authenticator(); a != nil {
-		principal, ticket, sig, err := a.Sign(req.SigPayload())
+		se := wire.GetEncoder()
+		req.appendSigPayload(se)
+		principal, ticket, sig, err := a.Sign(se.Bytes())
+		wire.PutEncoder(se)
 		if err != nil {
+			putRequest(req)
+			wire.PutEncoder(enc)
 			return Errf(ExcDenied, "signing: %v", err)
 		}
 		req.Principal = principal
@@ -247,15 +333,23 @@ func (e *Endpoint) invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 	e.sent.Add(1)
 	cc, err := e.getConn(ref.Addr)
 	if err != nil {
+		putRequest(req)
+		wire.PutEncoder(enc)
 		e.failures.Add(1)
 		return err
 	}
-	resp, err := cc.roundTrip(req, e.callTimeout)
+	rf, err := cc.roundTrip(req, e.timeout())
+	// The request frame was written (or the write failed) before roundTrip
+	// returned; the argument buffer and request record are free again.
+	putRequest(req)
+	wire.PutEncoder(enc)
 	if err != nil {
 		e.failures.Add(1)
 		return err
 	}
-	return decodeResponse(resp, get)
+	err = decodeResponse(rf, get)
+	putRespFrame(rf)
+	return err
 }
 
 func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
@@ -277,44 +371,46 @@ func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encod
 	if method == "_ping" {
 		return nil
 	}
-	enc := wire.NewEncoder(64)
+	enc := wire.GetEncoder()
 	if put != nil {
 		put(enc)
 	}
-	call := &ServerCall{
-		method:  method,
-		caller:  Caller{Principal: "local", Addr: e.addr, Local: true},
-		args:    wire.NewDecoder(enc.Bytes()),
-		results: wire.NewEncoder(64),
+	s := getScratch()
+	s.call.method = method
+	s.call.caller = Caller{Principal: "local", Addr: e.addr, Local: true}
+	s.args.Reset(enc.Bytes())
+	s.results.Reset()
+	err := sk.Dispatch(&s.call)
+	if err == nil && s.args.Err() != nil {
+		err = Errf(ExcBadArgs, "argument decode: %v", s.args.Err())
 	}
-	if err := sk.Dispatch(call); err != nil {
-		return err
-	}
-	if call.args.Err() != nil {
-		return Errf(ExcBadArgs, "argument decode: %v", call.args.Err())
-	}
-	if get != nil {
-		d := wire.NewDecoder(call.results.Bytes())
-		if err := get(d); err != nil {
-			return err
-		}
-		if d.Err() != nil {
-			return Errf(ExcBadArgs, "result decode: %v", d.Err())
+	if err == nil && get != nil {
+		// The argument decoder is spent; re-point it at the results.
+		s.args.Reset(s.results.Bytes())
+		if gerr := get(&s.args); gerr != nil {
+			err = gerr
+		} else if s.args.Err() != nil {
+			err = Errf(ExcBadArgs, "result decode: %v", s.args.Err())
 		}
 	}
-	return nil
+	putScratch(s)
+	wire.PutEncoder(enc)
+	return err
 }
 
-func decodeResponse(resp *response, get func(*wire.Decoder) error) error {
+// decodeResponse maps a response's status onto the caller-visible result,
+// running get over the borrowed body for statusOK.
+func decodeResponse(rf *respFrame, get func(*wire.Decoder) error) error {
+	resp := &rf.resp
 	switch resp.Status {
 	case statusOK:
 		if get != nil {
-			d := wire.NewDecoder(resp.Body)
-			if err := get(d); err != nil {
+			rf.dec.Reset(resp.Body)
+			if err := get(&rf.dec); err != nil {
 				return err
 			}
-			if d.Err() != nil {
-				return Errf(ExcBadArgs, "result decode: %v", d.Err())
+			if rf.dec.Err() != nil {
+				return Errf(ExcBadArgs, "result decode: %v", rf.dec.Err())
 			}
 		}
 		return nil

@@ -46,7 +46,10 @@ func (c Caller) Host() string {
 	return c.Addr
 }
 
-// ServerCall carries one invocation through a skeleton.
+// ServerCall carries one invocation through a skeleton.  Calls are pooled
+// and reused across requests; a skeleton must not retain the call, its
+// decoder, or any Decoder.BytesView slice past Dispatch's return
+// (Decoder.Bytes copies and is always safe to keep).
 type ServerCall struct {
 	method  string
 	caller  Caller
@@ -104,12 +107,13 @@ type Endpoint struct {
 	incarnation int64
 	auth        atomic.Value // Authenticator; set via SetAuthenticator
 	trace       atomic.Value // obs.Tracer; set via SetTracer
-	callTimeout time.Duration
+	callTimeout atomic.Int64 // nanoseconds; SetCallTimeout races Invoke
 	metrics     *epMetrics
 
 	mu      sync.Mutex
 	objects map[string]Skeleton
 	conns   map[string]*clientConn // by remote addr
+	dialing map[string]*dialWait   // by remote addr; singleflight dials
 	serving map[net.Conn]struct{}
 	closed  bool
 
@@ -148,12 +152,13 @@ func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint
 		ln:          ln,
 		addr:        addr,
 		incarnation: incarnationCounter.Add(1),
-		callTimeout: 10 * time.Second,
 		metrics:     newEpMetrics(tr.Host()),
 		objects:     make(map[string]Skeleton),
 		conns:       make(map[string]*clientConn),
+		dialing:     make(map[string]*dialWait),
 		serving:     make(map[net.Conn]struct{}),
 	}
+	e.callTimeout.Store(int64(10 * time.Second))
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e
@@ -189,8 +194,13 @@ func (e *Endpoint) tracer() obs.Tracer {
 // every endpoint on the same host, scraped remotely via MetricsOf.
 func (e *Endpoint) Metrics() *obs.Registry { return e.metrics.reg }
 
-// SetCallTimeout bounds each remote invocation in real time.
-func (e *Endpoint) SetCallTimeout(d time.Duration) { e.callTimeout = d }
+// SetCallTimeout bounds each remote invocation in real time.  It may be
+// called while invocations are in flight; each call reads the timeout once
+// at its start.
+func (e *Endpoint) SetCallTimeout(d time.Duration) { e.callTimeout.Store(int64(d)) }
+
+// timeout returns the current per-call timeout.
+func (e *Endpoint) timeout() time.Duration { return time.Duration(e.callTimeout.Load()) }
 
 // Addr returns the endpoint's "host:port".
 func (e *Endpoint) Addr() string { return e.addr }
@@ -304,6 +314,28 @@ func (e *Endpoint) acceptLoop() {
 	}
 }
 
+// residentWorkers is the number of reusable dispatch workers one serving
+// connection keeps (started lazily, one per concurrently outstanding call).
+// Each worker owns its ServerCall/response/encoder scratch for its whole
+// life, so steady-state dispatch allocates nothing.  When a connection has
+// more than residentWorkers calls in flight the surplus falls back to a
+// spawned goroutine with pooled scratch, preserving the old
+// goroutine-per-request pipelining guarantee: a slow call never blocks the
+// calls queued behind it.
+const residentWorkers = 4
+
+// connServer is the serving state of one accepted connection.
+type connServer struct {
+	e      *Endpoint
+	conn   net.Conn
+	remote string // RemoteAddr, computed once per connection
+
+	writeMu sync.Mutex
+
+	work     chan *serverReq
+	inflight atomic.Int32
+}
+
 func (e *Endpoint) serveConn(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -312,44 +344,106 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 		delete(e.serving, conn)
 		e.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
+	srv := &connServer{
+		e:      e,
+		conn:   conn,
+		remote: conn.RemoteAddr().String(),
+		work:   make(chan *serverReq, residentWorkers),
+	}
+	// Closing work releases the resident workers; they drain any queued
+	// requests first (their response writes fail fast on the closed conn).
+	defer close(srv.work)
+	started := int32(0)
 	for {
-		frame, err := wire.ReadFrame(conn)
+		sr := getServerReq()
+		frame, err := wire.ReadFrameInto(conn, sr.buf)
 		if err != nil {
+			putServerReq(sr)
 			return
 		}
-		var req request
-		if err := wire.Unmarshal(frame, &req); err != nil {
+		sr.buf = frame
+		sr.dec.Reset(frame)
+		sr.req.UnmarshalWire(&sr.dec)
+		if sr.dec.Err() != nil || sr.dec.Remaining() != 0 {
+			putServerReq(sr)
 			return // protocol violation: drop the connection
 		}
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			resp := e.handle(&req, conn.RemoteAddr().String())
-			payload := wire.Marshal(resp)
-			writeMu.Lock()
-			err := wire.WriteFrame(conn, payload)
-			writeMu.Unlock()
-			if err != nil {
-				conn.Close()
+		// sr now borrows the frame buffer (request body, ticket, sig alias
+		// it); ownership passes to whichever worker handles it.
+		n := srv.inflight.Add(1)
+		if n <= residentWorkers {
+			// Invariant: we only queue while inflight <= residentWorkers,
+			// and started >= min(inflight, residentWorkers) after the lazy
+			// start below, so the buffered send never blocks and some
+			// worker is free to take it.
+			if started < n {
+				started++
+				e.wg.Add(1)
+				go srv.worker()
 			}
-		}()
+			srv.work <- sr
+		} else {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				s := getScratch()
+				srv.handleOne(sr, s)
+				putScratch(s)
+			}()
+		}
 	}
 }
 
-// handle executes one request against the object adapter.
-func (e *Endpoint) handle(req *request, remoteAddr string) *response {
+// worker is a resident dispatch worker: one long-lived scratch, many
+// requests.  It exits when the connection's read loop closes the work
+// channel.
+func (srv *connServer) worker() {
+	defer srv.e.wg.Done()
+	s := getScratch()
+	defer putScratch(s)
+	for sr := range srv.work {
+		srv.handleOne(sr, s)
+	}
+}
+
+// handleOne executes one request and writes its response frame, reusing
+// the given scratch for dispatch and encoding.
+func (srv *connServer) handleOne(sr *serverReq, s *callScratch) {
+	srv.e.handleInto(&sr.req, srv.remote, s)
+	s.wenc.Reset()
+	err := wire.AppendFrame(&s.wenc, &s.resp)
+	if err == nil {
+		srv.writeMu.Lock()
+		_, err = srv.conn.Write(s.wenc.Bytes())
+		srv.writeMu.Unlock()
+	}
+	if err != nil {
+		srv.conn.Close()
+	}
+	srv.inflight.Add(-1)
+	putServerReq(sr)
+}
+
+// handleInto executes one request against the object adapter, leaving the
+// response in s.resp.  The response body may alias s.results; the caller
+// encodes the response frame out of s before reusing the scratch.
+func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	e.received.Add(1)
-	resp := &response{ReqID: req.ReqID}
+	resp := &s.resp
+	resp.reset()
+	resp.ReqID = req.ReqID
 
 	caller := Caller{Addr: remoteAddr}
 	if a := e.authenticator(); a != nil {
-		principal, err := a.Verify(req.Principal, req.Ticket, req.Sig, req.SigPayload())
+		se := wire.GetEncoder()
+		req.appendSigPayload(se)
+		principal, err := a.Verify(req.Principal, req.Ticket, req.Sig, se.Bytes())
+		wire.PutEncoder(se)
 		if err != nil {
 			resp.Status = statusApp
 			resp.ErrName = ExcDenied
 			resp.ErrMsg = err.Error()
-			return resp
+			return
 		}
 		caller.Principal = principal
 	} else {
@@ -360,7 +454,7 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 	if e.closed {
 		e.mu.Unlock()
 		resp.Status = statusShutdown
-		return resp
+		return
 	}
 	sk, ok := e.objects[req.ObjectID]
 	e.mu.Unlock()
@@ -369,32 +463,31 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 	// it answers before incarnation and object-id validation — scrapers
 	// hold no valid reference to a server they are inspecting.
 	if req.Method == "_metrics" {
-		enc := wire.NewEncoder(1024)
-		enc.PutString(e.metrics.reg.Text())
+		s.results.Reset()
+		s.results.PutString(e.metrics.reg.Text())
 		resp.Status = statusOK
-		resp.Body = enc.Bytes()
-		return resp
+		resp.Body = s.results.Bytes()
+		return
 	}
 
 	if (req.Incarnation != e.incarnation && req.Incarnation != oref.AnyIncarnation) || !ok {
 		e.metrics.invalidRefs.Inc()
 		resp.Status = statusInvalidRef
-		return resp
+		return
 	}
 
 	// Built-in liveness probe, available on every object (§7.2's original
 	// ping-based tracking, retained for the E5/E11 comparison).
 	if req.Method == "_ping" {
 		resp.Status = statusOK
-		return resp
+		return
 	}
 
-	call := &ServerCall{
-		method:  req.Method,
-		caller:  caller,
-		args:    wire.NewDecoder(req.Body),
-		results: wire.NewEncoder(64),
-	}
+	call := &s.call
+	call.method = req.Method
+	call.caller = caller
+	s.args.Reset(req.Body)
+	s.results.Reset()
 	e.metrics.dispatches.Inc()
 	e.metrics.inflight.Inc()
 	err := func() (err error) {
@@ -406,13 +499,13 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 		}()
 		return sk.Dispatch(call)
 	}()
-	if err == nil && call.args.Err() != nil {
-		err = Errf(ExcBadArgs, "argument decode: %v", call.args.Err())
+	if err == nil && s.args.Err() != nil {
+		err = Errf(ExcBadArgs, "argument decode: %v", s.args.Err())
 	}
 	switch {
 	case err == nil:
 		resp.Status = statusOK
-		resp.Body = call.results.Bytes()
+		resp.Body = s.results.Bytes()
 	case errors.Is(err, ErrNoSuchMethod):
 		resp.Status = statusNoSuchMethod
 		resp.ErrMsg = req.Method
@@ -429,5 +522,4 @@ func (e *Endpoint) handle(req *request, remoteAddr string) *response {
 			resp.ErrMsg = err.Error()
 		}
 	}
-	return resp
 }

@@ -19,6 +19,7 @@ type epMetrics struct {
 
 	poolHits       *obs.Counter
 	poolDials      *obs.Counter
+	poolDialShared *obs.Counter
 	poolDialErrors *obs.Counter
 
 	readErrors   *obs.Counter
@@ -31,7 +32,13 @@ type epMetrics struct {
 	invalidRefs *obs.Counter
 	inflight    *obs.Gauge
 
-	latency sync.Map // methodKey -> *obs.Histogram
+	// latency caches the per-method histogram under a plain RWMutex-guarded
+	// map: a read-locked lookup with a struct key costs no allocation,
+	// where a sync.Map.Load boxed the key into an interface on every call —
+	// per-call garbage on the Invoke hot path.  The name concatenation
+	// happens only on the first call per method.
+	latMu   sync.RWMutex
+	latency map[methodKey]*obs.Histogram
 }
 
 type methodKey struct{ typeID, method string }
@@ -45,6 +52,7 @@ func newEpMetrics(host string) *epMetrics {
 		localCalls:     r.Counter("orb_client_local_calls"),
 		poolHits:       r.Counter("orb_pool_hits"),
 		poolDials:      r.Counter("orb_pool_dials"),
+		poolDialShared: r.Counter("orb_pool_dial_shared"),
 		poolDialErrors: r.Counter("orb_pool_dial_errors"),
 		readErrors:     r.Counter("orb_conn_read_errors"),
 		decodeErrors:   r.Counter("orb_conn_decode_errors"),
@@ -58,18 +66,32 @@ func newEpMetrics(host string) *epMetrics {
 }
 
 // latencyFor returns the per-method latency histogram, creating and caching
-// it on first use.
+// it on first use.  The fast path is a read-locked map hit with zero
+// allocations.
 func (m *epMetrics) latencyFor(typeID, method string) *obs.Histogram {
 	k := methodKey{typeID, method}
-	if h, ok := m.latency.Load(k); ok {
-		return h.(*obs.Histogram)
+	m.latMu.RLock()
+	h := m.latency[k]
+	m.latMu.RUnlock()
+	if h != nil {
+		return h
 	}
-	if typeID == "" {
-		typeID = "?"
+	name := typeID
+	if name == "" {
+		name = "?"
 	}
-	h := m.reg.Histogram(obs.L("orb_call_latency", "method", typeID+"."+method))
-	actual, _ := m.latency.LoadOrStore(k, h)
-	return actual.(*obs.Histogram)
+	h = m.reg.Histogram(obs.L("orb_call_latency", "method", name+"."+method))
+	m.latMu.Lock()
+	if existing, ok := m.latency[k]; ok {
+		h = existing
+	} else {
+		if m.latency == nil {
+			m.latency = make(map[methodKey]*obs.Histogram)
+		}
+		m.latency[k] = h
+	}
+	m.latMu.Unlock()
+	return h
 }
 
 // outcomeOf classifies an invocation result for traces and counters.

@@ -1,0 +1,144 @@
+package orb
+
+import (
+	"sync"
+	"time"
+
+	"itv/internal/wire"
+)
+
+// Hot-path object pools.  One remote invocation used to allocate a waiter
+// channel, a timer, two encoders, a request, a frame buffer per side, a
+// response, and a ServerCall — all dead the moment the call returned.  The
+// pools below recycle every one of them; see DESIGN.md §9 for the ownership
+// rules that make the reuse safe.
+
+// waiter is the per-call rendezvous between roundTrip and the connection
+// read loop.  The channel has capacity 1 so the read loop never blocks
+// delivering; a nil delivery means the connection failed.  The timer is
+// created once and re-armed per call.
+type waiter struct {
+	ch    chan *respFrame
+	timer *time.Timer
+}
+
+var waiterPool = sync.Pool{New: func() any {
+	return &waiter{ch: make(chan *respFrame, 1)}
+}}
+
+// getWaiter returns a waiter armed with the given timeout.  Pooled waiters
+// always have a stopped-and-drained timer and an empty channel, so Reset is
+// unconditionally safe.
+func getWaiter(d time.Duration) *waiter {
+	w := waiterPool.Get().(*waiter)
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+	} else {
+		w.timer.Reset(d)
+	}
+	return w
+}
+
+// putWaiter returns w to the pool.  fired reports whether the caller
+// already received from the timer's channel (the timeout path); otherwise
+// the timer is stopped here, draining a concurrent expiry so the next
+// Reset cannot observe a stale tick.  The caller must have received the
+// waiter's pending delivery, if any, before pooling it.
+func putWaiter(w *waiter, fired bool) {
+	if !fired && !w.timer.Stop() {
+		<-w.timer.C
+	}
+	waiterPool.Put(w)
+}
+
+// respFrame couples a decoded response with the frame buffer its Body
+// borrows and the decoder that walks them.  Ownership moves as one unit:
+// the read loop fills it, the waiting caller decodes results out of it and
+// releases it.
+type respFrame struct {
+	resp response
+	dec  wire.Decoder
+	buf  []byte
+}
+
+var respFramePool = sync.Pool{New: func() any { return new(respFrame) }}
+
+func getRespFrame() *respFrame { return respFramePool.Get().(*respFrame) }
+
+func putRespFrame(rf *respFrame) {
+	rf.resp.reset()
+	rf.dec.Reset(nil)
+	if !wire.CapOK(cap(rf.buf)) {
+		rf.buf = nil // don't pin one huge frame's buffer forever
+	}
+	respFramePool.Put(rf)
+}
+
+// requestPool recycles the client-side request records.  A pooled request
+// must be released only after its frame has been written: Body (and the
+// signed-call fields) alias buffers owned elsewhere.
+var requestPool = sync.Pool{New: func() any { return new(request) }}
+
+func getRequest() *request { return requestPool.Get().(*request) }
+
+func putRequest(r *request) {
+	r.reset()
+	requestPool.Put(r)
+}
+
+// callScratch is everything one server-side dispatch (or local
+// short-circuit dispatch) needs: the ServerCall with its argument decoder
+// and result encoder, the response record, and the frame encoder the
+// response is written from.  A resident connection worker holds one for its
+// lifetime; overflow dispatches borrow one from the pool.
+type callScratch struct {
+	call    ServerCall
+	args    wire.Decoder
+	results wire.Encoder
+	resp    response
+	wenc    wire.Encoder
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	s := new(callScratch)
+	s.call.args = &s.args
+	s.call.results = &s.results
+	return s
+}}
+
+func getScratch() *callScratch { return scratchPool.Get().(*callScratch) }
+
+func putScratch(s *callScratch) {
+	s.call.method = ""
+	s.call.caller = Caller{}
+	s.args.Reset(nil)
+	s.results.Reset()
+	s.resp.reset()
+	s.wenc.Reset()
+	if !wire.CapOK(s.results.Cap()) || !wire.CapOK(s.wenc.Cap()) {
+		return // grown past the retention bound; let the GC have it
+	}
+	scratchPool.Put(s)
+}
+
+// serverReq couples a decoded request with the frame buffer it borrows
+// from, plus the decoder used on both.  The accept-side read loop fills it
+// and the dispatching worker releases it after the response is written.
+type serverReq struct {
+	req request
+	dec wire.Decoder
+	buf []byte
+}
+
+var serverReqPool = sync.Pool{New: func() any { return new(serverReq) }}
+
+func getServerReq() *serverReq { return serverReqPool.Get().(*serverReq) }
+
+func putServerReq(sr *serverReq) {
+	sr.req.reset()
+	sr.dec.Reset(nil)
+	if !wire.CapOK(cap(sr.buf)) {
+		sr.buf = nil
+	}
+	serverReqPool.Put(sr)
+}

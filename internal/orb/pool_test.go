@@ -1,0 +1,285 @@
+package orb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itv/internal/oref"
+	"itv/internal/transport"
+	"itv/internal/wire"
+)
+
+// TestPooledInvokeIntegrity hammers one server from many goroutines, each
+// with its own distinguishable payloads, and checks every echo comes back
+// exactly.  Any aliasing bug in the pooled encoders, borrowed frame
+// buffers, or reused waiters shows up here as one goroutine reading
+// another's bytes.
+func TestPooledInvokeIntegrity(t *testing.T) {
+	_, client, _, ref := newPair(t)
+	const workers = 16
+	const calls = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := fmt.Sprintf("worker-%d-call-%d-%s", w, i,
+					string(make([]byte, w*7+i%13))) // varied sizes stress buffer reuse
+				got, err := echo(t, client, ref, want)
+				if err != nil {
+					t.Errorf("worker %d call %d: %v", w, i, err)
+					return
+				}
+				if got != want {
+					t.Errorf("worker %d call %d: echo corrupted: got %q", w, i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPooledResultCopySurvivesReuse is the mutate-after-return canary at
+// the invocation level: results copied out in a get callback (the
+// documented contract — Decoder.Bytes/String copy) must be immune to the
+// frame buffers' later reuse by other calls.
+func TestPooledResultCopySurvivesReuse(t *testing.T) {
+	_, client, _, ref := newPair(t)
+	first, err := echo(t, client, ref, "canary-payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive plenty of traffic through the same pools with different bytes.
+	for i := 0; i < 500; i++ {
+		if _, err := echo(t, client, ref, fmt.Sprintf("noise-%d-xxxxxxxxxxxxxxxx", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first != "canary-payload" {
+		t.Fatalf("previously returned result mutated by pool reuse: %q", first)
+	}
+}
+
+// TestInvokeRacingClose races in-flight invocations against Endpoint.Close
+// on both sides: no call may panic, leak a pooled object into a live
+// response, or return anything but a definite success or Dead error.
+func TestInvokeRacingClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		nw := transport.NewNetwork()
+		server, err := NewEndpoint(nw.Host("192.168.0.1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := NewEndpoint(nw.Host("10.1.0.5"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		skel := &echoSkel{block: make(chan struct{})}
+		ref := server.Register("", skel)
+
+		const workers = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					want := fmt.Sprintf("r%d-w%d-i%d", round, w, i)
+					var got string
+					err := client.Invoke(ref, "echo",
+						func(e *wire.Encoder) { e.PutString(want) },
+						func(d *wire.Decoder) error { got = d.String(); return nil })
+					switch {
+					case err == nil:
+						if got != want {
+							t.Errorf("round %d: corrupted echo across close: %q != %q", round, got, want)
+							return
+						}
+					case Dead(err):
+						// expected once an endpoint dies
+					default:
+						t.Errorf("round %d: unexpected error class: %v", round, err)
+						return
+					}
+				}
+			}(w)
+		}
+		close(start)
+		// Kill one side mid-flight, alternating which.
+		if round%2 == 0 {
+			server.Close()
+		} else {
+			client.Close()
+		}
+		wg.Wait()
+		close(skel.block)
+		server.Close()
+		client.Close()
+	}
+}
+
+// TestSingleflightDial checks the thundering-herd fix: N concurrent first
+// calls to one address must produce exactly one transport dial, with the
+// other callers sharing it (and counted as shared).
+func TestSingleflightDial(t *testing.T) {
+	nw := transport.NewNetwork()
+	server, err := NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	clientTr := nw.Host("10.1.0.5")
+	client, err := NewEndpoint(clientTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	skel := &echoSkel{block: make(chan struct{})}
+	defer close(skel.block)
+	ref := server.Register("", skel)
+
+	src, ok := clientTr.(transport.StatsSource)
+	if !ok {
+		t.Fatal("memnet host should implement StatsSource")
+	}
+	before := src.Stats()
+
+	const callers = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var failures atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := echo(t, client, ref, "x"); err != nil {
+				failures.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d/%d calls failed", n, callers)
+	}
+	if d := src.Stats().Sub(before); d.ConnsDialed != 1 {
+		t.Fatalf("%d concurrent first calls dialed %d connections, want exactly 1", callers, d.ConnsDialed)
+	}
+}
+
+// TestSingleflightDialErrorShared checks waiters on a failing dial all get
+// the dialer's error rather than hanging or re-dialing in a storm.
+func TestSingleflightDialErrorShared(t *testing.T) {
+	nw := transport.NewNetwork()
+	clientTr := nw.Host("10.1.0.5")
+	client, err := NewEndpoint(clientTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Nothing listens at the target; every dial is refused.
+	ref := oref.Ref{Addr: "192.168.0.9:555", Incarnation: 1, TypeID: "test.Echo"}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := client.Invoke(ref, "echo", func(e *wire.Encoder) { e.PutString("x") }, nil)
+			if !Dead(err) {
+				t.Errorf("err = %v, want a Dead error", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSetCallTimeoutRace drives SetCallTimeout concurrently with in-flight
+// invocations; under -race this pins the atomicity of the timeout field.
+func TestSetCallTimeoutRace(t *testing.T) {
+	_, client, _, ref := newPair(t)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				client.SetCallTimeout(time.Duration(5+i%5) * time.Second)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := echo(t, client, ref, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+}
+
+// TestPipeliningSurvivesWorkerSaturation saturates one connection with more
+// concurrent blocked calls than the resident worker count and checks a call
+// queued behind them still completes: the overflow-spawn fallback preserves
+// goroutine-per-request pipelining semantics.
+func TestPipeliningSurvivesWorkerSaturation(t *testing.T) {
+	nw := transport.NewNetwork()
+	server, err := NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := NewEndpoint(nw.Host("10.1.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	skel := &echoSkel{block: make(chan struct{})}
+	ref := server.Register("", skel)
+
+	const blocked = residentWorkers + 3
+	var wg sync.WaitGroup
+	errs := make(chan error, blocked)
+	for i := 0; i < blocked; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- client.Invoke(ref, "block", nil, nil)
+		}()
+	}
+	// Wait until every blocked call has actually been dispatched — they
+	// occupy all resident workers and then some.
+	dispatched := func() int {
+		skel.mu.Lock()
+		defer skel.mu.Unlock()
+		return len(skel.callers)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for dispatched() < blocked {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d blocked calls dispatched", dispatched(), blocked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A fresh call on the same connection must still get through.
+	got, err := echo(t, client, ref, "pipelined")
+	if err != nil || got != "pipelined" {
+		t.Fatalf("call stuck behind saturated workers: %q, %v", got, err)
+	}
+	close(skel.block)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("blocked call failed: %v", err)
+		}
+	}
+}

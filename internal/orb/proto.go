@@ -14,6 +14,11 @@ const (
 )
 
 // request is the on-wire invocation record.
+//
+// Decoding borrows: UnmarshalWire leaves Ticket, Sig and Body aliasing the
+// frame buffer being decoded, so a decoded request is valid only until its
+// frame buffer is reused.  Both endpoint read loops hand the frame buffer's
+// ownership along with the request and release the two together.
 type request struct {
 	ReqID       uint64
 	ObjectID    string
@@ -42,26 +47,38 @@ func (r *request) UnmarshalWire(d *wire.Decoder) {
 	r.Incarnation = d.Int()
 	r.Method = d.String()
 	r.Principal = d.String()
-	r.Ticket = d.Bytes()
-	r.Sig = d.Bytes()
-	r.Body = d.Bytes()
+	r.Ticket = d.BytesView()
+	r.Sig = d.BytesView()
+	r.Body = d.BytesView()
 }
 
-// SigPayload returns the bytes covered by the per-call signature: the
-// fields that identify the invocation.  ReqID (transport-level, assigned
-// after signing) and Principal are excluded; the principal is bound to the
-// signature by the sealed ticket, which names the principal whose session
-// key produced the HMAC.
-func (r *request) SigPayload() []byte {
-	e := wire.NewEncoder(64 + len(r.Body))
+// reset clears a pooled request for reuse, dropping references into any
+// previously borrowed frame buffer.
+func (r *request) reset() { *r = request{} }
+
+// appendSigPayload encodes the bytes covered by the per-call signature into
+// e: the fields that identify the invocation.  ReqID (transport-level,
+// assigned after signing) and Principal are excluded; the principal is
+// bound to the signature by the sealed ticket, which names the principal
+// whose session key produced the HMAC.
+func (r *request) appendSigPayload(e *wire.Encoder) {
 	e.PutString(r.ObjectID)
 	e.PutInt(r.Incarnation)
 	e.PutString(r.Method)
 	e.PutBytes(r.Body)
+}
+
+// SigPayload returns the signature payload as a fresh slice; hot paths use
+// appendSigPayload with a pooled encoder instead.
+func (r *request) SigPayload() []byte {
+	e := wire.NewEncoder(64 + len(r.Body))
+	r.appendSigPayload(e)
 	return e.Bytes()
 }
 
-// response is the on-wire reply record.
+// response is the on-wire reply record.  Like request, UnmarshalWire leaves
+// Body aliasing the frame buffer; respFrame couples the two so ownership
+// moves as one unit from the read loop to the waiting caller.
 type response struct {
 	ReqID   uint64
 	Status  uint64
@@ -83,5 +100,8 @@ func (r *response) UnmarshalWire(d *wire.Decoder) {
 	r.Status = d.Uint()
 	r.ErrName = d.String()
 	r.ErrMsg = d.String()
-	r.Body = d.Bytes()
+	r.Body = d.BytesView()
 }
+
+// reset clears a pooled response for reuse.
+func (r *response) reset() { *r = response{} }

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+type blobMsg []byte
+
+func (m blobMsg) MarshalWire(e *Encoder) { e.PutBytes(m) }
+
+// TestAppendFrameMatchesWriteFrame pins the wire compatibility requirement:
+// the zero-copy framing path must emit byte-for-byte what WriteFrame emits.
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	f := func(payload []byte) bool {
+		var legacy bytes.Buffer
+		if err := WriteFrame(&legacy, append([]byte(nil), blobMsg(payload).framePayload()...)); err != nil {
+			return false
+		}
+		e := NewEncoder(16)
+		if err := AppendFrame(e, blobMsg(payload)); err != nil {
+			return false
+		}
+		return bytes.Equal(legacy.Bytes(), e.Bytes())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// framePayload is what WriteFrame would have been handed for this message:
+// its standalone encoding.
+func (m blobMsg) framePayload() []byte { return Marshal(m) }
+
+// TestAppendFrameConcatenates checks back-to-back frames in one buffer
+// decode as a stream of distinct frames.
+func TestAppendFrameConcatenates(t *testing.T) {
+	e := NewEncoder(16)
+	if err := AppendFrame(e, blobMsg("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendFrame(e, blobMsg("second")); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(e.Bytes())
+	for i, want := range []string{"first", "second"} {
+		frame, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		d := NewDecoder(frame)
+		if got := string(d.Bytes()); got != want || d.Err() != nil {
+			t.Fatalf("frame %d = %q, want %q (err %v)", i, got, want, d.Err())
+		}
+	}
+}
+
+// TestReadFrameIntoReuse checks that a read loop reusing one buffer gets
+// correct payloads, grows only when needed, and reuses grown capacity.
+func TestReadFrameIntoReuse(t *testing.T) {
+	var stream bytes.Buffer
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 10),
+		bytes.Repeat([]byte{2}, 1000),
+		bytes.Repeat([]byte{3}, 10), // shrinks back: must reuse, not realloc
+		{},
+		bytes.Repeat([]byte{4}, 1000),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&stream, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	for i, want := range payloads {
+		got, err := ReadFrameInto(&stream, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch (len %d vs %d)", i, len(got), len(want))
+		}
+		if i >= 1 && cap(buf) >= len(want) && len(want) > 0 && &got[0] != &buf[:1][0] {
+			t.Fatalf("frame %d: buffer was reallocated despite sufficient capacity", i)
+		}
+		buf = got
+	}
+}
+
+// TestReadFrameIntoOversize checks the frame ceiling still holds on the
+// reusable-buffer path.
+func TestReadFrameIntoOversize(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	_, err := ReadFrameInto(bytes.NewReader(hdr), nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestEncoderPoolReuseIsClean checks a pooled encoder always comes back
+// empty, whatever state it was returned in.
+func TestEncoderPoolReuseIsClean(t *testing.T) {
+	e := GetEncoder()
+	e.PutString("leftover state")
+	PutEncoder(e)
+	for i := 0; i < 100; i++ {
+		e := GetEncoder()
+		if e.Len() != 0 {
+			t.Fatalf("pooled encoder arrived with %d bytes of prior state", e.Len())
+		}
+		e.PutUint(uint64(i))
+		PutEncoder(e)
+	}
+}
+
+// TestEncoderPoolCopySurvivesReuse is the mutate-after-return canary: bytes
+// COPIED out of an encoder before PutEncoder must be immune to whatever the
+// pool's next users write.  (Retaining e.Bytes() itself across PutEncoder
+// is the documented ownership violation the copy avoids.)
+func TestEncoderPoolCopySurvivesReuse(t *testing.T) {
+	e := GetEncoder()
+	e.PutString("canary")
+	snapshot := append([]byte(nil), e.Bytes()...)
+	PutEncoder(e)
+
+	// Stamp garbage through the pool from many goroutines.
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g byte) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				e := GetEncoder()
+				for j := 0; j < 32; j++ {
+					e.PutUint(uint64(g) << 8)
+				}
+				PutEncoder(e)
+			}
+		}(byte(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+
+	d := NewDecoder(snapshot)
+	if got := d.String(); got != "canary" || d.Err() != nil {
+		t.Fatalf("copied bytes corrupted by pool reuse: %q (err %v)", got, d.Err())
+	}
+}
+
+// TestBytesViewAliases pins BytesView's contract: it aliases the decoder's
+// buffer (no copy), while Bytes copies.
+func TestBytesViewAliases(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutBytes([]byte("shared"))
+	buf := e.Bytes()
+
+	d := NewDecoder(buf)
+	view := d.BytesView()
+	if string(view) != "shared" {
+		t.Fatalf("view = %q", view)
+	}
+	// Mutating the backing buffer must show through the view...
+	buf[1] ^= 0xFF
+	if string(view) == "shared" {
+		t.Fatal("BytesView copied; expected an alias of the input buffer")
+	}
+	buf[1] ^= 0xFF
+
+	d = NewDecoder(buf)
+	cp := d.Bytes()
+	buf[1] ^= 0xFF
+	if string(cp) != "shared" {
+		t.Fatal("Bytes aliased the input buffer; expected a copy")
+	}
+}

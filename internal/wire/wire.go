@@ -64,6 +64,10 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of encoded bytes so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Cap returns the capacity of the encoder's backing buffer; pools use it to
+// decide whether a grown encoder is worth retaining.
+func (e *Encoder) Cap() int { return cap(e.buf) }
+
 // Reset discards the encoded contents, retaining the buffer.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
@@ -134,6 +138,15 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over buf.  The decoder does not copy buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset re-arms the decoder over a new buffer, clearing any latched error.
+// It lets a long-lived decoder (a connection read loop's, a pooled server
+// call's) decode many messages without allocating one Decoder each.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
 
 // Err returns the first decode error, or nil.
 func (d *Decoder) Err() error { return d.err }
@@ -209,6 +222,24 @@ func (d *Decoder) String() string {
 	s := string(d.buf[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s
+}
+
+// BytesView decodes a length-prefixed byte slice without copying: the
+// result aliases the decoder's input buffer and is valid only as long as
+// that buffer is.  Hot paths that hand a frame buffer's ownership along
+// with the decoded message use it; everyone else wants Bytes.
+func (d *Decoder) BytesView() []byte {
+	n := d.Uint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return out
 }
 
 // Bytes decodes a length-prefixed byte slice.  The result is a copy.
@@ -318,8 +349,38 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// AppendFrame appends one length-prefixed frame carrying m's encoding to e,
+// with no intermediate buffer: the 4-byte header is reserved up front, m
+// marshals directly into e, and the header is patched once the length is
+// known.  Writing e.Bytes() in a single Write then costs zero copies beyond
+// the marshal itself and keeps the one-Write-per-frame property WriteFrame
+// established (the transport layer counts frames by counting Writes).
+func AppendFrame(e *Encoder, m Marshaler) error {
+	mark := len(e.buf)
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	m.MarshalWire(e)
+	n := len(e.buf) - mark - 4
+	if n > MaxFrameSize {
+		e.buf = e.buf[:mark]
+		return ErrTooLarge
+	}
+	binary.BigEndian.PutUint32(e.buf[mark:mark+4], uint32(n))
+	return nil
+}
+
 // ReadFrame reads one length-prefixed frame, enforcing MaxFrameSize.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one length-prefixed frame into buf's storage, growing
+// it only when the frame exceeds buf's capacity, and returns the payload
+// sized to the frame.  A connection read loop that passes the returned
+// slice back in on the next call reaches a steady state of zero allocations
+// per frame.  The payload aliases buf whenever capacity sufficed, so the
+// caller must finish with (or hand off ownership of) one frame before
+// reading the next into the same buffer.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -328,7 +389,12 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint64(n) <= uint64(cap(buf)) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
