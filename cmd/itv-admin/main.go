@@ -11,6 +11,8 @@
 //	itv-admin [-ns host:port] start <host> <svc>
 //	itv-admin [-ns host:port] move <svc> <host,...>
 //	itv-admin metrics <host:port>             # scrape a node's obs registry
+//	itv-admin events [host ...]               # merged cluster flight recorder
+//	itv-admin trace <trace-id> [host ...]     # one failover's causal timeline
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"itv/internal/clock"
@@ -25,6 +29,7 @@ import (
 	"itv/internal/core"
 	"itv/internal/csc"
 	"itv/internal/names"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/ssc"
 	"itv/internal/transport"
@@ -156,6 +161,35 @@ func main() {
 		}
 		fmt.Print(text)
 
+	case "events":
+		// Fan the built-in _events scrape out across the cluster and print
+		// one merged, causally ordered timeline.
+		merged, err := clusterEvents(sess, ep, args[1:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs.WriteEvents(os.Stdout, merged)
+
+	case "trace":
+		// Reconstruct one failover end-to-end: every node's flight-recorder
+		// entries carrying the given trace id, in causal order.
+		if len(args) < 2 {
+			log.Fatal("usage: trace <trace-id> [host ...]")
+		}
+		id, err := strconv.ParseUint(strings.TrimPrefix(args[1], "0x"), 16, 64)
+		if err != nil || id == 0 {
+			log.Fatalf("bad trace id %q (want hex, e.g. 4a1f00d2c3b4a596)", args[1])
+		}
+		merged, err := clusterEvents(sess, ep, args[2:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		chain := obs.FilterTrace(merged, id)
+		if len(chain) == 0 {
+			log.Fatalf("no events for trace %016x (rings are bounded; scrape sooner)", id)
+		}
+		obs.WriteEvents(os.Stdout, chain)
+
 	case "move":
 		if len(args) < 3 {
 			log.Fatal("usage: move <svc> <host,...>")
@@ -169,6 +203,38 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
+}
+
+// clusterEvents scrapes the flight recorder of every named host's SSC
+// endpoint (or, with no hosts given, every server the acting CSC knows)
+// and merges the rings into one timeline.
+func clusterEvents(sess *core.Session, ep *orb.Endpoint, hosts []string) ([]obs.Event, error) {
+	if len(hosts) == 0 {
+		st, err := csc.NewStub(sess).Status()
+		if err != nil {
+			return nil, fmt.Errorf("no hosts given and CSC unavailable: %w", err)
+		}
+		for h := range st {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+	}
+	var lists [][]obs.Event
+	for _, h := range hosts {
+		addr := h
+		if !strings.Contains(addr, ":") {
+			addr = fmt.Sprintf("%s:%d", h, ssc.WellKnownPort)
+		}
+		evs, err := ep.EventsOf(addr)
+		if err != nil {
+			// A down node is part of the story, not a reason to abort the
+			// scrape: note it and keep merging the survivors.
+			fmt.Fprintf(os.Stderr, "events %s: %v\n", addr, err)
+			continue
+		}
+		lists = append(lists, evs)
+	}
+	return obs.MergeEvents(lists...), nil
 }
 
 // listTree prints the name space as an indented tree (Fig. 8).

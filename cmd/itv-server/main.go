@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -55,7 +56,9 @@ func main() {
 	if *debugAddr != "" {
 		// Every service on this node shares the host registry, so one
 		// scrape covers the ORB, transport, names, RAS and SSC counters.
-		addr, err := obs.ServeDebug(*debugAddr, obs.Node(host).WriteText)
+		addr, err := obs.ServeDebug(*debugAddr, obs.Node(host).WriteText, func(w io.Writer) {
+			obs.WriteEvents(w, obs.NodeRecorder(host).Events())
+		})
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}

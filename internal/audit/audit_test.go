@@ -449,7 +449,7 @@ func measurePeerRPCs(t *testing.T, n, settops int) float64 {
 		return out
 	}
 	latency := obs.Node(serverIP(0)).Histogram(
-		obs.L("orb_call_latency", "method", TypeID+".localStatus"))
+		obs.L("orb_call_latency", "method", TypeID+".localStatusT"))
 	latencyBefore := latency.Count()
 	before := sample()
 	const rounds = 8
@@ -470,7 +470,7 @@ func measurePeerRPCs(t *testing.T, n, settops int) float64 {
 	// The client-side ORB records a per-method latency histogram for the
 	// peer-status calls server 0 made.
 	if d := latency.Count() - latencyBefore; d < rounds {
-		t.Fatalf("localStatus latency histogram grew by %d, want >= %d", d, rounds)
+		t.Fatalf("localStatusT latency histogram grew by %d, want >= %d", d, rounds)
 	}
 
 	var total float64

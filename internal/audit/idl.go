@@ -17,16 +17,23 @@ func (k *skel) Dispatch(c *orb.ServerCall) error {
 		alive := k.s.CheckStatus(refs)
 		putBools(c.Results(), alive)
 		return nil
+	case "checkStatusT":
+		refs := oref.Refs(c.Args())
+		alive, traces := k.s.CheckStatusT(refs)
+		putStatuses(c.Results(), alive, traces)
+		return nil
 	case "localStatus":
 		// Peer-to-peer: evaluate only against this server's SSC live set.
 		refs := oref.Refs(c.Args())
-		out := make([]bool, len(refs))
-		k.s.mu.Lock()
-		for i, r := range refs {
-			out[i] = k.s.localAliveLocked(r)
-		}
-		k.s.mu.Unlock()
-		putBools(c.Results(), out)
+		alive, _ := k.s.localStatusT(refs)
+		putBools(c.Results(), alive)
+		return nil
+	case "localStatusT":
+		// localStatus plus the death trace per dead reference — the hop
+		// that carries a failure's causal trace between RAS peers.
+		refs := oref.Refs(c.Args())
+		alive, traces := k.s.localStatusT(refs)
+		putStatuses(c.Results(), alive, traces)
 		return nil
 	default:
 		return orb.ErrNoSuchMethod
@@ -49,6 +56,29 @@ func getBools(d *wire.Decoder) []bool {
 	return out
 }
 
+func putStatuses(e *wire.Encoder, alive []bool, traces []uint64) {
+	e.PutUint(uint64(len(alive)))
+	for i, a := range alive {
+		e.PutBool(a)
+		var t uint64
+		if i < len(traces) {
+			t = traces[i]
+		}
+		e.PutUint(t)
+	}
+}
+
+func getStatuses(d *wire.Decoder) ([]bool, []uint64) {
+	n := d.Count()
+	alive := make([]bool, 0, n)
+	traces := make([]uint64, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		alive = append(alive, d.Bool())
+		traces = append(traces, d.Uint())
+	}
+	return alive, traces
+}
+
 // Invoker is the slice of orb.Endpoint the stubs need.
 type Invoker interface {
 	Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
@@ -69,6 +99,16 @@ func (s Stub) CheckStatus(refs []oref.Ref) ([]bool, error) {
 	return out, err
 }
 
+// CheckStatusT is CheckStatus with the death trace per dead reference.
+func (s Stub) CheckStatusT(refs []oref.Ref) ([]bool, []uint64, error) {
+	var alive []bool
+	var traces []uint64
+	err := s.Ep.Invoke(s.Ref, "checkStatusT",
+		func(e *wire.Encoder) { oref.PutRefs(e, refs) },
+		func(d *wire.Decoder) error { alive, traces = getStatuses(d); return nil })
+	return alive, traces, err
+}
+
 // LocalStatus evaluates refs against the remote server's local live set
 // (the peer-polling operation).
 func (s Stub) LocalStatus(refs []oref.Ref) ([]bool, error) {
@@ -77,6 +117,16 @@ func (s Stub) LocalStatus(refs []oref.Ref) ([]bool, error) {
 		func(e *wire.Encoder) { oref.PutRefs(e, refs) },
 		func(d *wire.Decoder) error { out = getBools(d); return nil })
 	return out, err
+}
+
+// LocalStatusT is LocalStatus with the death trace per dead reference.
+func (s Stub) LocalStatusT(refs []oref.Ref) ([]bool, []uint64, error) {
+	var alive []bool
+	var traces []uint64
+	err := s.Ep.Invoke(s.Ref, "localStatusT",
+		func(e *wire.Encoder) { oref.PutRefs(e, refs) },
+		func(d *wire.Decoder) error { alive, traces = getStatuses(d); return nil })
+	return alive, traces, err
 }
 
 // Checker adapts a RAS stub to the name service's StatusChecker interface —
@@ -100,6 +150,28 @@ func (c Checker) CheckStatus(refs []oref.Ref) (map[string]bool, error) {
 		}
 	}
 	return out, nil
+}
+
+// CheckStatusTraced implements names.TracedChecker: liveness plus, for dead
+// references, the causal trace of the observed death — what lets the name
+// service's audit eviction join the trace the SSC minted when the object
+// died, even when the death happened on another server.
+func (c Checker) CheckStatusTraced(refs []oref.Ref) (map[string]bool, map[string]uint64, error) {
+	alive, traces, err := (Stub{Ep: c.Ep, Ref: c.Ref}).CheckStatusT(refs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]bool, len(refs))
+	tr := make(map[string]uint64)
+	for i, r := range refs {
+		if i < len(alive) {
+			out[r.Key()] = alive[i]
+		}
+		if i < len(traces) && traces[i] != 0 {
+			tr[r.Key()] = traces[i]
+		}
+	}
+	return out, tr, nil
 }
 
 // SettopRef builds the conventional entity reference for a settop.

@@ -16,6 +16,7 @@
 package audit
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -66,6 +67,10 @@ type entity struct {
 	ref     oref.Ref
 	alive   bool
 	lastAsk time.Time
+	// trace is the causal trace under which the entity's death was observed
+	// (0 when alive, or when the death was untraced — e.g. inferred from an
+	// unreachable peer server rather than reported by its SSC).
+	trace uint64
 }
 
 // Service is one server's RAS instance.
@@ -74,10 +79,12 @@ type Service struct {
 	cfg  Config
 	ep   *orb.Endpoint
 	host string
+	rec  *obs.Recorder
 
 	mu        sync.Mutex
-	localLive map[string]bool // ref.Key() -> live, from the SSC callback
-	synced    bool            // initial SSC callback received
+	localLive map[string]bool   // ref.Key() -> live, from the SSC callback
+	deadTrace map[string]uint64 // ref.Key() -> trace of the observed death
+	synced    bool              // initial SSC callback received
 	remote    map[string]*entity
 	settops   map[string]*entity // settop host -> status
 	sscOK     bool
@@ -110,7 +117,9 @@ func New(tr transport.Transport, clk clock.Clock, cfg Config) (*Service, error) 
 		cfg:          cfg,
 		ep:           ep,
 		host:         tr.Host(),
+		rec:          obs.NodeRecorder(tr.Host()),
 		localLive:    make(map[string]bool),
+		deadTrace:    make(map[string]uint64),
 		remote:       make(map[string]*entity),
 		settops:      make(map[string]*entity),
 		pollRounds:   reg.Counter("ras_poll_rounds"),
@@ -162,15 +171,31 @@ func (s *Service) registerWithSSC() {
 // objectsChanged is the SSC callback (§7.2, mechanism 2): it maintains the
 // authoritative live set for objects on this server.  The SSC replays the
 // full live set at registration, so this doubles as crash recovery.
-func (s *Service) objectsChanged(refs []oref.Ref, alive bool) {
+//
+// A death reported under a sampled trace (the SSC mints one in reapObjects)
+// is remembered per key, so every later status answer about the dead object
+// — local or relayed to a polling peer RAS — carries the trace of the
+// failure that killed it.
+func (s *Service) objectsChanged(ctx context.Context, refs []oref.Ref, alive bool) {
+	sp := obs.SpanFrom(ctx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.synced = true
 	for _, r := range refs {
 		if alive {
 			s.localLive[r.Key()] = true
+			delete(s.deadTrace, r.Key())
 		} else {
 			delete(s.localLive, r.Key())
+			if sp.Sampled {
+				// Bound the tomb map: it only needs to outlive the audits
+				// that will ask about these keys, not the process.
+				if len(s.deadTrace) > 1024 {
+					s.deadTrace = make(map[string]uint64)
+				}
+				s.deadTrace[r.Key()] = sp.TraceID
+				s.rec.Record(s.clk.Now(), sp.TraceID, "ras_object_dead", r.Key())
+			}
 		}
 	}
 }
@@ -193,8 +218,16 @@ func (s *Service) classify(ref oref.Ref) string {
 // does not block").  Unknown entities are recorded for monitoring and
 // reported alive until learned otherwise.
 func (s *Service) CheckStatus(refs []oref.Ref) []bool {
+	alive, _ := s.CheckStatusT(refs)
+	return alive
+}
+
+// CheckStatusT is CheckStatus plus, per dead reference, the causal trace of
+// the observed death (0 when untraced).
+func (s *Service) CheckStatusT(refs []oref.Ref) ([]bool, []uint64) {
 	now := s.clk.Now()
 	out := make([]bool, len(refs))
+	traces := make([]uint64, len(refs))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, ref := range refs {
@@ -210,6 +243,9 @@ func (s *Service) CheckStatus(refs []oref.Ref) []bool {
 			out[i] = en.alive
 		case "local":
 			out[i] = s.localAliveLocked(ref)
+			if !out[i] {
+				traces[i] = s.deadTrace[ref.Key()]
+			}
 		default: // remote
 			key := ref.Key()
 			en, ok := s.remote[key]
@@ -219,9 +255,28 @@ func (s *Service) CheckStatus(refs []oref.Ref) []bool {
 			}
 			en.lastAsk = now
 			out[i] = en.alive
+			if !en.alive {
+				traces[i] = en.trace
+			}
 		}
 	}
-	return out
+	return out, traces
+}
+
+// localStatusT evaluates refs against this server's SSC live set only (the
+// peer-polling operation), with death traces.
+func (s *Service) localStatusT(refs []oref.Ref) ([]bool, []uint64) {
+	out := make([]bool, len(refs))
+	traces := make([]uint64, len(refs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range refs {
+		out[i] = s.localAliveLocked(r)
+		if !out[i] {
+			traces[i] = s.deadTrace[r.Key()]
+		}
+	}
+	return out, traces
 }
 
 // localAliveLocked evaluates a local object against the SSC live set.
@@ -290,23 +345,31 @@ func (s *Service) poll() {
 		for i, en := range ents {
 			refs[i] = en.ref
 		}
-		alive, err := s.peerLocalStatus(host, refs)
+		alive, traces, err := s.peerLocalStatus(host, refs)
 		if err != nil {
 			// One retry guards against a peer RAS mid-restart; a second
 			// failure means the server (or its RAS) is down, and its
 			// objects are unreachable either way: dead.
-			alive, err = s.peerLocalStatus(host, refs)
+			alive, traces, err = s.peerLocalStatus(host, refs)
 		}
 		s.mu.Lock()
+		now := s.clk.Now()
 		for i, en := range ents {
 			was := en.alive
 			if err != nil {
 				en.alive = false
 			} else if i < len(alive) {
 				en.alive = en.alive && alive[i] // death is permanent per incarnation
+				if !en.alive && en.trace == 0 && i < len(traces) {
+					// Adopt the peer's death trace: the causal chain crosses
+					// servers here, from the SSC that saw the death to the
+					// RAS that will answer the name-space audit.
+					en.trace = traces[i]
+				}
 			}
 			if was && !en.alive {
 				s.deadDeclared.Inc()
+				s.rec.Record(now, en.trace, "ras_peer_dead", en.ref.Key())
 			}
 		}
 		s.mu.Unlock()
@@ -336,13 +399,13 @@ func (s *Service) poll() {
 	s.mu.Unlock()
 }
 
-func (s *Service) peerLocalStatus(host string, refs []oref.Ref) ([]bool, error) {
+func (s *Service) peerLocalStatus(host string, refs []oref.Ref) ([]bool, []uint64, error) {
 	s.peerRPCs.Inc()
-	alive, err := (Stub{Ep: s.ep, Ref: RefAt(host)}).LocalStatus(refs)
+	alive, traces, err := (Stub{Ep: s.ep, Ref: RefAt(host)}).LocalStatusT(refs)
 	if err != nil {
 		s.peerRPCErrs.Inc()
 	}
-	return alive, err
+	return alive, traces, err
 }
 
 func refHost(addr string) string {

@@ -17,11 +17,13 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"itv/internal/clock"
 	"itv/internal/names"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/wire"
@@ -82,6 +84,10 @@ func (rb *Rebinder) Session() *Session { return rb.s }
 // distributed deadlock mutexacrossrpc exists to prevent.  Concurrent
 // resolvers race benignly; the first cached result wins.
 func (rb *Rebinder) Ref() (oref.Ref, error) {
+	return rb.refCtx(context.Background())
+}
+
+func (rb *Rebinder) refCtx(ctx context.Context) (oref.Ref, error) {
 	rb.mu.Lock()
 	cached := rb.ref
 	rb.mu.Unlock()
@@ -89,7 +95,7 @@ func (rb *Rebinder) Ref() (oref.Ref, error) {
 		return cached, nil
 	}
 
-	ref, err := rb.s.Root.Resolve(rb.name)
+	ref, err := rb.s.Root.ResolveCtx(ctx, rb.name)
 	if err != nil {
 		return oref.Ref{}, err
 	}
@@ -122,16 +128,31 @@ func retryable(err error) bool {
 
 // Invoke performs one operation with automatic rebinding.
 func (rb *Rebinder) Invoke(method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	return rb.InvokeCtx(context.Background(), method, put, get)
+}
+
+// InvokeCtx is Invoke with context propagation: an active trace span
+// travels with the call and with any rebinding resolves, and when a
+// re-resolve lands on a binding that repaired an audit eviction, the
+// rebind joins the failure's trace — the client-side end of the §8.2
+// fail-over story.
+func (rb *Rebinder) InvokeCtx(ctx context.Context, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	attempts := rb.MaxAttempts
 	if attempts <= 0 {
 		attempts = 4
 	}
 	var lastErr error
+	rebinding := false
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 && rb.Backoff > 0 {
 			rb.s.Clk.Sleep(rb.Backoff << (attempt - 1))
 		}
-		ref, err := rb.Ref()
+		var sink obs.TraceSink
+		rctx := ctx
+		if rebinding {
+			rctx = obs.WithTraceSink(ctx, &sink)
+		}
+		ref, err := rb.refCtx(rctx)
 		if err != nil {
 			lastErr = err
 			if retryable(err) {
@@ -139,7 +160,14 @@ func (rb *Rebinder) Invoke(method string, put func(*wire.Encoder), get func(*wir
 			}
 			return err
 		}
-		err = rb.s.Ep.Invoke(ref, method, put, get)
+		if rebinding {
+			rebinding = false
+			if t := sink.Trace(); t != 0 {
+				rb.s.Ep.Recorder().Record(rb.s.Clk.Now(), t,
+					"core_rebind_success", rb.name+" -> "+ref.Key())
+			}
+		}
+		err = rb.s.Ep.InvokeCtx(ctx, ref, method, put, get)
 		if err == nil || !orb.Dead(err) {
 			return err
 		}
@@ -148,7 +176,10 @@ func (rb *Rebinder) Invoke(method string, put func(*wire.Encoder), get func(*wir
 		// service.  This counter is the rebind-rate evidence the fail-over
 		// measurements (§9.7) report against.
 		rb.s.Ep.Metrics().Counter("core_rebinds").Inc()
+		rb.s.Ep.Recorder().Record(rb.s.Clk.Now(), obs.SpanFrom(ctx).TraceID,
+			"core_rebind_attempt", rb.name+": "+err.Error())
 		rb.Invalidate()
+		rebinding = true
 	}
 	return lastErr
 }

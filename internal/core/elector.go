@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 )
@@ -142,13 +144,19 @@ func (e *Elector) attempt() {
 		demoted := e.OnDemoted
 		e.mu.Unlock()
 		e.s.Ep.Metrics().Counter("core_elector_demotions").Inc()
+		e.s.Ep.Recorder().Record(e.s.Clk.Now(), 0, "core_elector_demoted", e.name)
 		if demoted != nil {
 			demoted()
 		}
 		// Fall through to campaign again at once.
 	}
 
-	err := e.s.Root.Bind(e.name, e.ref)
+	// Bind with a trace sink: when this bind repairs an audit eviction, the
+	// name service reports the failure's trace back, and the promotion event
+	// joins the trace that began with the old primary's death — usually on
+	// another machine.
+	var sink obs.TraceSink
+	err := e.s.Root.BindCtx(obs.WithTraceSink(context.Background(), &sink), e.name, e.ref)
 	switch {
 	case err == nil:
 		e.mu.Lock()
@@ -156,6 +164,8 @@ func (e *Elector) attempt() {
 		promoted := e.OnPrimary
 		e.mu.Unlock()
 		e.s.Ep.Metrics().Counter("core_elector_promotions").Inc()
+		e.s.Ep.Recorder().Record(e.s.Clk.Now(), sink.Trace(), "core_elector_promoted",
+			e.name+" -> "+e.ref.Key())
 		if promoted != nil {
 			promoted()
 		}

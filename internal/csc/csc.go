@@ -211,6 +211,7 @@ func (c *Controller) reconcile() {
 			c.sess.Ep.Metrics().Counter("csc_pings_failed").Inc()
 		}
 		c.mu.Lock()
+		wasUp, known := c.serverUp[host]
 		c.serverUp[host] = err == nil
 		if err == nil {
 			c.downRounds[host] = 0
@@ -218,6 +219,13 @@ func (c *Controller) reconcile() {
 			c.downRounds[host]++
 		}
 		c.mu.Unlock()
+		if err != nil && (wasUp || !known) {
+			// Record only the up->down transition, not every failed round:
+			// the flight recorder wants the detection moment (§6.3), and a
+			// long outage would otherwise flood the ring.
+			c.sess.Ep.Recorder().Record(c.sess.Clk.Now(), 0, "csc_ping_failed",
+				host+": "+err.Error())
+		}
 		if err != nil {
 			// Server down (§6.3): replicated services elsewhere carry on;
 			// singleton services stay down until restart or operator
@@ -308,6 +316,8 @@ func (c *Controller) migrate(plan Plan, servers []string) {
 		}
 		load[target]++
 		c.sess.Ep.Metrics().Counter("csc_migrations").Inc()
+		c.sess.Ep.Recorder().Record(c.sess.Clk.Now(), 0, "csc_service_migrated",
+			fmt.Sprintf("%s: %s -> %s", svc, strings.Join(hosts, ","), target))
 		c.mu.Lock()
 		c.migrations = append(c.migrations,
 			fmt.Sprintf("%s: %s -> %s", svc, strings.Join(hosts, ","), target))

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// eventname: flight-recorder event names must follow subsystem_event.
+//
+// The merged cluster timeline (itv-admin events / trace) interleaves
+// every node's flight-recorder ring; the event name is the only key an
+// operator greps the failover story by.  The repo's convention matches
+// metric names: lowercase snake_case with the owning subsystem as the
+// first segment (ssc_object_death, names_audit_evicted,
+// core_elector_promoted).  The check validates every string literal
+// passed as the name argument to Recorder.Record; the obs package itself
+// (whose tests mint arbitrary names to exercise the ring) is exempt.
+type eventName struct{}
+
+func (eventName) Name() string { return "eventname" }
+func (eventName) Doc() string {
+	return "flight-recorder event name not in subsystem_event form (lowercase snake_case, >=2 segments)"
+}
+
+// recordNameArg is the position of the name argument in
+// Recorder.Record(t, trace, name, detail).
+const recordNameArg = 2
+
+func (eventName) Run(p *Pass) {
+	obsPath := p.Pkg.ModPath + "/internal/obs"
+	if p.Pkg.Path == obsPath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) <= recordNameArg {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Record" {
+				return true
+			}
+			if !isNamed(p.TypeOf(sel.X), obsPath, "Recorder") {
+				return true
+			}
+			lit, ok := call.Args[recordNameArg].(*ast.BasicLit)
+			if !ok {
+				return true // computed names are the caller's problem to keep lawful
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || metricNameRE.MatchString(name) {
+				return true
+			}
+			p.Reportf(lit.Pos(),
+				"event name %q is not subsystem_event (lowercase snake_case, >=2 segments); off-convention names never line up in the merged cluster timeline", name)
+			return true
+		})
+	}
+}

@@ -259,6 +259,7 @@ func All() []Check {
 		mortalRef{},
 		leakyGo{},
 		metricName{},
+		eventName{},
 	}
 }
 

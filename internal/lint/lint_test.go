@@ -78,6 +78,7 @@ func TestGolden(t *testing.T) {
 		{"mortalref", "mortalref"},
 		{"leakygo", "leakygo"},
 		{"metricname", "metricname"},
+		{"eventname", "eventname"},
 		{"suppress", "sleepyclock"},
 	}
 	for _, tc := range cases {

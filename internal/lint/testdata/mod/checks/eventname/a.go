@@ -1,0 +1,20 @@
+package eventname
+
+import (
+	"time"
+
+	"golden/internal/obs"
+)
+
+func record(rec *obs.Recorder, now time.Time) {
+	rec.Record(now, 0, "badName", "")     // want "not subsystem_event"
+	rec.Record(now, 0, "svc.death", "")   // want "not subsystem_event"
+	rec.Record(now, 0, "Ssc_Weird", "")   // want "not subsystem_event"
+	rec.Record(now, 0, "singleword", "x") // want "not subsystem_event"
+
+	// negatives: the house convention, and computed names (out of scope).
+	rec.Record(now, 0, "ssc_object_death", "mms")
+	rec.Record(now, 1, "names_audit_evicted", "svc/mms")
+	name := "core_dynamic_event"
+	rec.Record(now, 0, name, "")
+}

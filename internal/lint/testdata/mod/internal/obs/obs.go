@@ -1,6 +1,9 @@
 // Package obs is a miniature stand-in for itv/internal/obs: the Registry
-// constructors and L, whose first arguments metricname validates.
+// constructors and L, whose first arguments metricname validates, and the
+// flight-recorder Recorder, whose Record name argument eventname validates.
 package obs
+
+import "time"
 
 type (
 	Counter   struct{}
@@ -15,3 +18,7 @@ func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
 func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
 
 func L(name string, kv ...string) string { return name }
+
+type Recorder struct{}
+
+func (r *Recorder) Record(t time.Time, trace uint64, name, detail string) {}

@@ -19,6 +19,7 @@
 package names
 
 import (
+	"context"
 	"strings"
 
 	"itv/internal/orb"
@@ -99,6 +100,21 @@ type Invoker interface {
 	Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
 }
 
+// CtxInvoker is the context-propagating invoker; orb.Endpoint implements
+// it.  Stub methods taking a context use it when available and fall back
+// to plain Invoke otherwise, so test fakes satisfying only Invoker keep
+// working.
+type CtxInvoker interface {
+	InvokeCtx(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
+}
+
+func invokeCtx(ep Invoker, ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if ci, ok := ep.(CtxInvoker); ok {
+		return ci.InvokeCtx(ctx, ref, method, put, get)
+	}
+	return ep.Invoke(ref, method, put, get)
+}
+
 // Context is the client-side proxy for any object implementing the
 // NamingContext interface — a name-service context, a remote
 // FileSystemContext, or any other service exporting the context protocol.
@@ -111,8 +127,16 @@ type Context struct {
 // reference (§4.4).  Resolution recurses server-side across local and
 // remote contexts.
 func (c Context) Resolve(name string) (oref.Ref, error) {
+	return c.ResolveCtx(context.Background(), name)
+}
+
+// ResolveCtx is Resolve with context propagation: an active trace span in
+// ctx travels with the call, and a TraceSink in ctx receives the failure
+// trace the resolved binding adopted, if any (the rebind-after-failover
+// causal join, §8.2).
+func (c Context) ResolveCtx(ctx context.Context, name string) (oref.Ref, error) {
 	var out oref.Ref
-	err := c.Ep.Invoke(c.Ref, "resolve",
+	err := invokeCtx(c.Ep, ctx, c.Ref, "resolve",
 		func(e *wire.Encoder) { e.PutString(name) },
 		func(d *wire.Decoder) error { out.UnmarshalWire(d); return nil })
 	return out, err
@@ -122,7 +146,14 @@ func (c Context) Resolve(name string) (oref.Ref, error) {
 // already-bound name fails with AlreadyBound — the first-bind-wins rule
 // primary/backup services elect through (§5.2).
 func (c Context) Bind(name string, obj oref.Ref) error {
-	return c.Ep.Invoke(c.Ref, "bind",
+	return c.BindCtx(context.Background(), name, obj)
+}
+
+// BindCtx is Bind with context propagation.  A TraceSink in ctx receives
+// the failure trace this bind adopted when it repaired an audit eviction —
+// how a backup's election win learns which failure it is the answer to.
+func (c Context) BindCtx(ctx context.Context, name string, obj oref.Ref) error {
+	return invokeCtx(c.Ep, ctx, c.Ref, "bind",
 		func(e *wire.Encoder) { e.PutString(name); obj.MarshalWire(e) }, nil)
 }
 

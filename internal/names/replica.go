@@ -1,6 +1,7 @@
 package names
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -24,6 +25,18 @@ type StatusChecker interface {
 	// are reported alive until the checker learns otherwise (§7.2: status
 	// builds up over time, starting "unknown").
 	CheckStatus(refs []oref.Ref) (map[string]bool, error)
+}
+
+// TracedChecker extends StatusChecker with the causal trace of each
+// observed death.  When the installed checker implements it (audit.Checker
+// does), the name-space audit joins the trace the SSC minted when the
+// object died, so eviction and the eventual rebind are causally linked to
+// the failure across machines.
+type TracedChecker interface {
+	StatusChecker
+	// CheckStatusTraced returns alive[ref.Key()] like CheckStatus, plus
+	// trace[ref.Key()] for dead references whose death has a known trace.
+	CheckStatusTraced(refs []oref.Ref) (map[string]bool, map[string]uint64, error)
 }
 
 // Config parameterizes a name-service replica.  The interval defaults are
@@ -93,6 +106,7 @@ type Replica struct {
 
 	// Cached node counters (shared host registry, see internal/obs).
 	reg           *obs.Registry
+	rec           *obs.Recorder
 	resolves      *obs.Counter
 	resolveErrors *obs.Counter
 	binds         *obs.Counter
@@ -138,6 +152,7 @@ func NewReplica(tr transport.Transport, clk clock.Clock, cfg Config) (*Replica, 
 		rng:           rand.New(rand.NewSource(int64(h.Sum64()))),
 		rr:            newRRState(),
 		reg:           reg,
+		rec:           obs.NodeRecorder(tr.Host()),
 		resolves:      reg.Counter("names_resolves"),
 		resolveErrors: reg.Counter("names_resolve_errors"),
 		binds:         reg.Counter("names_binds"),
@@ -485,16 +500,36 @@ func (r *Replica) maybeAudit() {
 		refs[i] = en.ref
 	}
 	r.auditRounds.Inc()
-	alive, err := checker.CheckStatus(refs)
+	var alive map[string]bool
+	var traces map[string]uint64
+	var err error
+	if tc, ok := checker.(TracedChecker); ok {
+		alive, traces, err = tc.CheckStatusTraced(refs)
+	} else {
+		alive, err = checker.CheckStatus(refs)
+	}
 	if err != nil {
 		return
 	}
 	for _, en := range entries {
 		if live, known := alive[en.ref.Key()]; known && !live {
+			trace := traces[en.ref.Key()]
+			ctx := context.Background()
+			if trace != 0 {
+				ctx = obs.ContextWithSpan(ctx, obs.Span{
+					TraceID: trace, SpanID: obs.NewSpanID(), Sampled: true,
+				})
+			}
 			// Unbind through the normal serialized-update path so slaves
-			// see the removal too.
-			if _, err := r.submit(&update{Op: opUnbind, Ctx: en.ctx, Name: en.name}); err == nil {
+			// see the removal too; the death trace rides in the update and
+			// leaves a failure tombstone the repairing bind will adopt.
+			u := &update{Op: opUnbind, Ctx: en.ctx, Name: en.name, Trace: trace}
+			if _, _, err := r.submit(ctx, u); err == nil {
 				r.auditRemoved.Inc()
+				if trace != 0 {
+					r.rec.Record(r.clk.Now(), trace, "names_audit_evicted",
+						en.ctx+"/"+en.name+" -> "+en.ref.Key())
+				}
 			}
 		}
 	}
@@ -504,7 +539,9 @@ func (r *Replica) maybeAudit() {
 
 // submit validates, applies and replicates one update.  On a slave it
 // forwards to the master; with no master known it reports Unavailable.
-func (r *Replica) submit(u *update) (newID string, err error) {
+// The ctx propagates any active trace across the forwarding hop; adopted
+// is the failure trace a bind inherited from the eviction it repairs.
+func (r *Replica) submit(ctx context.Context, u *update) (newID string, adopted uint64, err error) {
 	switch u.Op {
 	case opBind, opNewContext:
 		r.binds.Inc()
@@ -519,15 +556,20 @@ func (r *Replica) submit(u *update) (newID string, err error) {
 
 	if !isMaster {
 		if masterAddr == "" || masterAddr == self {
-			return "", errUnavailable("no name-service master elected")
+			return "", 0, errUnavailable("no name-service master elected")
 		}
 		// Forward to the master (§4.6: "all updates are forwarded to the
 		// master, which serializes them and multicasts them to the slaves").
 		var created string
-		err := r.ep.Invoke(r.peerRef(masterAddr), "apply",
+		var adoptedRemote uint64
+		err := r.ep.InvokeCtx(ctx, r.peerRef(masterAddr), "apply",
 			func(e *wire.Encoder) { e.PutBytes(wire.Marshal(u)) },
-			func(d *wire.Decoder) error { created = d.String(); return nil })
-		return created, err
+			func(d *wire.Decoder) error {
+				created = d.String()
+				adoptedRemote = d.Uint()
+				return nil
+			})
+		return created, adoptedRemote, err
 	}
 
 	// Master: serialize the update stream.
@@ -537,15 +579,15 @@ func (r *Replica) submit(u *update) (newID string, err error) {
 	r.mu.Lock()
 	if r.role != master {
 		r.mu.Unlock()
-		return "", errUnavailable("mastership lost")
+		return "", 0, errUnavailable("mastership lost")
 	}
 	if u.Op == opNewContext && u.NewID == "" {
 		u.NewID = r.store.allocID()
 	}
-	created, removed, err := r.store.apply(u)
+	created, removed, adopted, err := r.store.apply(u)
 	if err != nil {
 		r.mu.Unlock()
-		return "", err
+		return "", 0, err
 	}
 	r.seq++
 	seq, term := r.seq, r.term
@@ -555,6 +597,10 @@ func (r *Replica) submit(u *update) (newID string, err error) {
 	r.syncContextObjects(nil, created)
 	for _, id := range removed {
 		r.ep.Unregister(id)
+	}
+	if adopted != 0 {
+		r.rec.Record(r.clk.Now(), adopted, "names_rebound",
+			u.Ctx+"/"+u.Name+" -> "+u.Ref.Key())
 	}
 
 	buf := wire.Marshal(u)
@@ -579,24 +625,27 @@ func (r *Replica) submit(u *update) (newID string, err error) {
 				e.PutBytes(buf)
 			}, nil)
 	}
-	return u.NewID, nil
+	return u.NewID, adopted, nil
 }
 
 // ---- read path: resolution ----
 
 // resolvePath resolves parts relative to ctxID on behalf of callerHost,
 // recursing across local contexts and remote context objects (§4.3), and
-// applying selectors at replicated contexts (§4.5).
-func (r *Replica) resolvePath(ctxID string, parts []string, callerHost string) (oref.Ref, error) {
+// applying selectors at replicated contexts (§4.5).  The returned trace is
+// the failure trace the final binding adopted when it repaired an audit
+// eviction (0 otherwise, and 0 for results reached through a remote name
+// service — adoption is propagated one level, not through recursion).
+func (r *Replica) resolvePath(ctxID string, parts []string, callerHost string) (oref.Ref, uint64, error) {
 	r.resolves.Inc()
-	ref, err := r.resolvePathInner(ctxID, parts, callerHost)
+	ref, trace, err := r.resolvePathInner(ctxID, parts, callerHost)
 	if err != nil {
 		r.resolveErrors.Inc()
 	}
-	return ref, err
+	return ref, trace, err
 }
 
-func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost string) (oref.Ref, error) {
+func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost string) (oref.Ref, uint64, error) {
 	const maxHops = 64 // cycle guard for malicious or accidental loops
 	cur := ctxID
 	for hop := 0; hop < maxHops; hop++ {
@@ -604,7 +653,7 @@ func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost stri
 		node, ok := r.store.ctxs[cur]
 		if !ok {
 			r.mu.RUnlock()
-			return oref.Ref{}, errNotFound(cur)
+			return oref.Ref{}, 0, errNotFound(cur)
 		}
 
 		if node.repl {
@@ -613,13 +662,13 @@ func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost stri
 			// selector.
 			if len(parts) > 0 {
 				if e, exists := node.bindings[parts[0]]; exists {
-					next, ref, done, err := r.stepLocked(e, parts[1:])
+					next, ref, trace, done, err := r.stepLocked(e, parts[1:])
 					r.mu.RUnlock()
 					if err != nil {
-						return oref.Ref{}, err
+						return oref.Ref{}, 0, err
 					}
 					if done {
-						return ref, nil
+						return ref, trace, nil
 					}
 					if next != "" {
 						cur = next
@@ -637,26 +686,26 @@ func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost stri
 
 			chosen, err := r.choose(policy, selRef, bindings, callerHost, id)
 			if err != nil {
-				return oref.Ref{}, err
+				return oref.Ref{}, 0, err
 			}
 			r.mu.RLock()
 			node2, ok := r.store.ctxs[cur]
 			if !ok {
 				r.mu.RUnlock()
-				return oref.Ref{}, errNotFound(cur)
+				return oref.Ref{}, 0, errNotFound(cur)
 			}
 			e, exists := node2.bindings[chosen.Name]
 			if !exists {
 				r.mu.RUnlock()
-				return oref.Ref{}, errNotFound(chosen.Name)
+				return oref.Ref{}, 0, errNotFound(chosen.Name)
 			}
-			next, ref, done, err := r.stepLocked(e, parts)
+			next, ref, trace, done, err := r.stepLocked(e, parts)
 			r.mu.RUnlock()
 			if err != nil {
-				return oref.Ref{}, err
+				return oref.Ref{}, 0, err
 			}
 			if done {
-				return ref, nil
+				return ref, trace, nil
 			}
 			if next != "" {
 				cur = next
@@ -669,20 +718,20 @@ func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost stri
 		if len(parts) == 0 {
 			ref := r.ctxRefLocked(cur)
 			r.mu.RUnlock()
-			return ref, nil
+			return ref, 0, nil
 		}
 		e, exists := node.bindings[parts[0]]
 		if !exists {
 			r.mu.RUnlock()
-			return oref.Ref{}, errNotFound(parts[0])
+			return oref.Ref{}, 0, errNotFound(parts[0])
 		}
-		next, ref, done, err := r.stepLocked(e, parts[1:])
+		next, ref, trace, done, err := r.stepLocked(e, parts[1:])
 		r.mu.RUnlock()
 		if err != nil {
-			return oref.Ref{}, err
+			return oref.Ref{}, 0, err
 		}
 		if done {
-			return ref, nil
+			return ref, trace, nil
 		}
 		if next != "" {
 			cur = next
@@ -691,43 +740,46 @@ func (r *Replica) resolvePathInner(ctxID string, parts []string, callerHost stri
 		}
 		return r.remoteResolve(ref, parts[1:], callerHost)
 	}
-	return oref.Ref{}, orb.Errf(orb.ExcNotContext, "resolution exceeded hop limit")
+	return oref.Ref{}, 0, orb.Errf(orb.ExcNotContext, "resolution exceeded hop limit")
 }
 
 // stepLocked classifies one traversal step over entry e with `rest` of the
 // path remaining.  Exactly one of these holds on success:
-//   - done: ref is the final result;
+//   - done: ref is the final result (trace is its adopted failure trace);
 //   - next != "": descend into local context next;
 //   - otherwise: ref is a remote context to continue in.
-func (r *Replica) stepLocked(e entry, rest []string) (next string, ref oref.Ref, done bool, err error) {
+func (r *Replica) stepLocked(e entry, rest []string) (next string, ref oref.Ref, trace uint64, done bool, err error) {
 	if e.childCtx != "" {
 		if len(rest) == 0 {
 			// An ordinary context is itself the result; a replicated
 			// context is resolved through its selector (§4.5), so descend
 			// and let the replicated-context branch choose.
 			if n, ok := r.store.ctxs[e.childCtx]; ok && n.repl {
-				return e.childCtx, oref.Ref{}, false, nil
+				return e.childCtx, oref.Ref{}, 0, false, nil
 			}
-			return "", r.ctxRefLocked(e.childCtx), true, nil
+			return "", r.ctxRefLocked(e.childCtx), 0, true, nil
 		}
-		return e.childCtx, oref.Ref{}, false, nil
+		return e.childCtx, oref.Ref{}, 0, false, nil
 	}
 	if len(rest) == 0 {
-		return "", e.ref, true, nil
+		return "", e.ref, e.trace, true, nil
 	}
 	if !IsContextType(e.ref.TypeID) {
-		return "", oref.Ref{}, false, errNotContext(e.ref.TypeID)
+		return "", oref.Ref{}, 0, false, errNotContext(e.ref.TypeID)
 	}
-	return "", e.ref, false, nil
+	return "", e.ref, 0, false, nil
 }
 
 // remoteResolve continues resolution in a context implemented by another
-// name service (§4.3's third class of bound object).
-func (r *Replica) remoteResolve(ctx oref.Ref, parts []string, callerHost string) (oref.Ref, error) {
+// name service (§4.3's third class of bound object).  Trace adoption does
+// not cross this hop: the remote service reports adoption on its own
+// responses, and callers resolving through us see only local adoption.
+func (r *Replica) remoteResolve(ctx oref.Ref, parts []string, callerHost string) (oref.Ref, uint64, error) {
 	if len(parts) == 0 {
-		return ctx, nil
+		return ctx, 0, nil
 	}
-	return Context{Ep: r.ep, Ref: ctx}.ResolveAs(strings.Join(parts, "/"), callerHost)
+	ref, err := Context{Ep: r.ep, Ref: ctx}.ResolveAs(strings.Join(parts, "/"), callerHost)
+	return ref, 0, err
 }
 
 // bindingsLocked lists a context's bindings with local-context references

@@ -348,12 +348,12 @@ func TestSnapshotRoundTripProperty(t *testing.T) {
 			repl := i < len(replFlags) && replFlags[i]
 			if i%2 == 0 {
 				id := s.allocID()
-				_, _, err := s.apply(&update{Op: opNewContext, Ctx: parent, Name: name, NewID: id, Repl: repl, Policy: PolicyFirst})
+				_, _, _, err := s.apply(&update{Op: opNewContext, Ctx: parent, Name: name, NewID: id, Repl: repl, Policy: PolicyFirst})
 				if err == nil {
 					ctxIDs = append(ctxIDs, id)
 				}
 			} else {
-				_, _, _ = s.apply(&update{Op: opBind, Ctx: parent, Name: name,
+				_, _, _, _ = s.apply(&update{Op: opBind, Ctx: parent, Name: name,
 					Ref: oref.Ref{Addr: "h:1", Incarnation: int64(i), TypeID: "t"}})
 			}
 		}

@@ -1,6 +1,8 @@
 package names
 
 import (
+	"context"
+
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/wire"
@@ -27,20 +29,22 @@ func (s *ctxSkel) Dispatch(c *orb.ServerCall) error {
 	switch c.Method() {
 	case "resolve":
 		name := c.Args().String()
-		ref, err := s.r.resolvePath(s.ctxID, SplitPath(name), c.Caller().Host())
+		ref, trace, err := s.r.resolvePath(s.ctxID, SplitPath(name), c.Caller().Host())
 		if err != nil {
 			return err
 		}
+		c.AdoptTrace(trace)
 		ref.MarshalWire(c.Results())
 		return nil
 
 	case "resolveAs":
 		name := c.Args().String()
 		callerHost := c.Args().String()
-		ref, err := s.r.resolvePath(s.ctxID, SplitPath(name), callerHost)
+		ref, trace, err := s.r.resolvePath(s.ctxID, SplitPath(name), callerHost)
 		if err != nil {
 			return err
 		}
+		c.AdoptTrace(trace)
 		ref.MarshalWire(c.Results())
 		return nil
 
@@ -48,7 +52,12 @@ func (s *ctxSkel) Dispatch(c *orb.ServerCall) error {
 		name := c.Args().String()
 		var ref oref.Ref
 		ref.UnmarshalWire(c.Args())
-		return s.r.bindIn(s.ctxID, name, ref)
+		adopted, err := s.r.bindIn(c.Context(), s.ctxID, name, ref)
+		if err != nil {
+			return err
+		}
+		c.AdoptTrace(adopted)
+		return nil
 
 	case "unbind":
 		name := c.Args().String()
@@ -56,7 +65,7 @@ func (s *ctxSkel) Dispatch(c *orb.ServerCall) error {
 		if err != nil {
 			return err
 		}
-		_, err = s.r.submit(&update{Op: opUnbind, Ctx: ctx, Name: last})
+		_, _, err = s.r.submit(c.Context(), &update{Op: opUnbind, Ctx: ctx, Name: last})
 		return err
 
 	case "bindNewContext":
@@ -87,7 +96,7 @@ func (s *ctxSkel) Dispatch(c *orb.ServerCall) error {
 		name := c.Args().String()
 		var sel oref.Ref
 		sel.UnmarshalWire(c.Args())
-		return s.r.setSelector(s.ctxID, name, sel)
+		return s.r.setSelector(c.Context(), s.ctxID, name, sel)
 
 	default:
 		return orb.ErrNoSuchMethod
@@ -110,7 +119,7 @@ func (s *ctxSkel) bindCtx(c *orb.ServerCall, repl bool) error {
 	if err != nil {
 		return err
 	}
-	newID, err := s.r.submit(&update{Op: opNewContext, Ctx: ctx, Name: last, Repl: repl, Policy: policy})
+	newID, _, err := s.r.submit(c.Context(), &update{Op: opNewContext, Ctx: ctx, Name: last, Repl: repl, Policy: policy})
 	if err != nil {
 		return err
 	}
@@ -169,18 +178,20 @@ func (r *Replica) walkLocal(ctxID string, parts []string) (string, error) {
 }
 
 // bindIn binds ref at name under ctxID.  Binding the reserved "selector"
-// name in a replicated context installs the selector object (§4.5).
-func (r *Replica) bindIn(ctxID, name string, ref oref.Ref) error {
+// name in a replicated context installs the selector object (§4.5).  The
+// returned trace is the failure trace the bind adopted, if it repaired an
+// audit eviction.
+func (r *Replica) bindIn(cc context.Context, ctxID, name string, ref oref.Ref) (uint64, error) {
 	ctx, last, err := r.parentOf(ctxID, name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if last == SelectorBinding && r.isRepl(ctx) {
-		_, err := r.submit(&update{Op: opSetSelector, Ctx: ctx, Ref: ref})
-		return err
+		_, _, err := r.submit(cc, &update{Op: opSetSelector, Ctx: ctx, Ref: ref})
+		return 0, err
 	}
-	_, err = r.submit(&update{Op: opBind, Ctx: ctx, Name: last, Ref: ref})
-	return err
+	_, adopted, err := r.submit(cc, &update{Op: opBind, Ctx: ctx, Name: last, Ref: ref})
+	return adopted, err
 }
 
 func (r *Replica) isRepl(ctxID string) bool {
@@ -192,16 +203,16 @@ func (r *Replica) isRepl(ctxID string) bool {
 
 // setSelector installs a selector object on the replicated context named
 // by name ("" for the context itself).
-func (r *Replica) setSelector(ctxID, name string, sel oref.Ref) error {
+func (r *Replica) setSelector(cc context.Context, ctxID, name string, sel oref.Ref) error {
 	if name == "" {
-		_, err := r.submit(&update{Op: opSetSelector, Ctx: ctxID, Ref: sel})
+		_, _, err := r.submit(cc, &update{Op: opSetSelector, Ctx: ctxID, Ref: sel})
 		return err
 	}
 	target, err := r.walkLocal(ctxID, SplitPath(name))
 	if err != nil {
 		return err
 	}
-	_, err = r.submit(&update{Op: opSetSelector, Ctx: target, Ref: sel})
+	_, _, err = r.submit(cc, &update{Op: opSetSelector, Ctx: target, Ref: sel})
 	return err
 }
 
@@ -234,7 +245,7 @@ func (r *Replica) list(ctxID, name, callerHost string) ([]Binding, error) {
 	}
 	// Not a purely local context path: resolve it (possibly crossing
 	// remote name services) and list the resulting remote context.
-	ref, err := r.resolvePath(ctxID, parts, callerHost)
+	ref, _, err := r.resolvePath(ctxID, parts, callerHost)
 	if err != nil {
 		return nil, err
 	}
@@ -362,11 +373,12 @@ func (s *replicaSkel) Dispatch(c *orb.ServerCall) error {
 		r.lastHB = r.clk.Now()
 		ok := false
 		var created, removed []string
+		var u update
+		var adopted uint64
 		if seq == r.seq+1 {
-			var u update
 			if err := wire.Unmarshal(buf, &u); err == nil {
 				var aerr error
-				created, removed, aerr = r.store.apply(&u)
+				created, removed, adopted, aerr = r.store.apply(&u)
 				if aerr == nil {
 					r.seq = seq
 					ok = true
@@ -381,6 +393,15 @@ func (s *replicaSkel) Dispatch(c *orb.ServerCall) error {
 		}
 		curTerm := r.term
 		r.mu.Unlock()
+		// Mirror the master's flight-recorder view of traced mutations so a
+		// slave's ring tells the failover story even if the master dies.
+		if ok && u.Op == opUnbind && u.Trace != 0 {
+			r.rec.Record(r.clk.Now(), u.Trace, "names_unbind_applied", u.Ctx+"/"+u.Name)
+		}
+		if ok && adopted != 0 {
+			r.rec.Record(r.clk.Now(), adopted, "names_rebound",
+				u.Ctx+"/"+u.Name+" -> "+u.Ref.Key())
+		}
 		// Object registration happens outside the replica lock: context
 		// skeletons consult replica state to compute their type ids.
 		for _, id := range created {
@@ -416,11 +437,13 @@ func (s *replicaSkel) Dispatch(c *orb.ServerCall) error {
 		if !r.IsMaster() {
 			return errUnavailable("not master")
 		}
-		newID, err := r.submit(&u)
+		newID, adopted, err := r.submit(c.Context(), &u)
 		if err != nil {
 			return err
 		}
+		c.AdoptTrace(adopted)
 		c.Results().PutString(newID)
+		c.Results().PutUint(adopted)
 		return nil
 
 	case "status":

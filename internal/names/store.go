@@ -15,7 +15,21 @@ import (
 type store struct {
 	ctxs   map[string]*ctxNode
 	nextID int64 // allocator for context object ids; master-owned
+
+	// failures maps "ctx\x00name" to the causal trace of the audit eviction
+	// that removed the binding.  When a backup's election Bind lands on the
+	// same name, it consumes the tombstone: the new binding inherits the
+	// trace of the failure it repairs, which is how one trace id spans
+	// death → eviction → re-election across machines.  Bounded: cleared
+	// wholesale past maxFailureTombs (rebinds normally consume entries long
+	// before that).
+	failures map[string]uint64
 }
+
+// maxFailureTombs bounds the failure-tombstone map; see store.failures.
+const maxFailureTombs = 256
+
+func failureKey(ctx, name string) string { return ctx + "\x00" + name }
 
 // ctxNode is one context.  Replicated contexts carry a selector: either a
 // built-in policy evaluated locally on each replica, or a reference to a
@@ -34,10 +48,11 @@ type ctxNode struct {
 type entry struct {
 	ref      oref.Ref
 	childCtx string // non-empty: binding is a context implemented by this name service
+	trace    uint64 // causal trace adopted from the failure this binding repaired
 }
 
 func newStore() *store {
-	s := &store{ctxs: make(map[string]*ctxNode)}
+	s := &store{ctxs: make(map[string]*ctxNode), failures: make(map[string]uint64)}
 	s.ctxs[RootContextID] = &ctxNode{id: RootContextID, bindings: make(map[string]entry)}
 	return s
 }
@@ -62,6 +77,7 @@ type update struct {
 	NewID  string   // opNewContext
 	Repl   bool     // opNewContext
 	Policy string   // opNewContext
+	Trace  uint64   // opUnbind: causal trace of the death behind the eviction
 }
 
 func (u *update) MarshalWire(e *wire.Encoder) {
@@ -72,6 +88,7 @@ func (u *update) MarshalWire(e *wire.Encoder) {
 	e.PutString(u.NewID)
 	e.PutBool(u.Repl)
 	e.PutString(u.Policy)
+	e.PutUint(u.Trace)
 }
 
 func (u *update) UnmarshalWire(d *wire.Decoder) {
@@ -82,33 +99,45 @@ func (u *update) UnmarshalWire(d *wire.Decoder) {
 	u.NewID = d.String()
 	u.Repl = d.Bool()
 	u.Policy = d.String()
+	u.Trace = d.Uint()
 }
 
 // apply mutates the store.  It returns the set of context ids created and
-// removed so the replica can adjust its exported ORB objects.
-func (s *store) apply(u *update) (created, removed []string, err error) {
+// removed so the replica can adjust its exported ORB objects, plus the
+// failure trace the update adopted: an opBind landing on a name with a
+// failure tombstone consumes the tombstone and inherits its trace.
+func (s *store) apply(u *update) (created, removed []string, adopted uint64, err error) {
 	ctx, ok := s.ctxs[u.Ctx]
 	if !ok {
-		return nil, nil, fmt.Errorf("names: no context %q", u.Ctx)
+		return nil, nil, 0, fmt.Errorf("names: no context %q", u.Ctx)
 	}
 	switch u.Op {
 	case opBind:
 		if _, exists := ctx.bindings[u.Name]; exists {
-			return nil, nil, errAlreadyBound(u.Name)
+			return nil, nil, 0, errAlreadyBound(u.Name)
 		}
-		ctx.bindings[u.Name] = entry{ref: u.Ref}
+		k := failureKey(u.Ctx, u.Name)
+		adopted = s.failures[k]
+		delete(s.failures, k)
+		ctx.bindings[u.Name] = entry{ref: u.Ref, trace: adopted}
 	case opUnbind:
 		e, exists := ctx.bindings[u.Name]
 		if !exists {
-			return nil, nil, errNotFound(u.Name)
+			return nil, nil, 0, errNotFound(u.Name)
 		}
 		delete(ctx.bindings, u.Name)
 		if e.childCtx != "" {
 			removed = s.removeSubtree(e.childCtx, removed)
 		}
+		if u.Trace != 0 {
+			if len(s.failures) >= maxFailureTombs {
+				s.failures = make(map[string]uint64)
+			}
+			s.failures[failureKey(u.Ctx, u.Name)] = u.Trace
+		}
 	case opNewContext:
 		if _, exists := ctx.bindings[u.Name]; exists {
-			return nil, nil, errAlreadyBound(u.Name)
+			return nil, nil, 0, errAlreadyBound(u.Name)
 		}
 		s.ctxs[u.NewID] = &ctxNode{
 			id:       u.NewID,
@@ -123,18 +152,18 @@ func (s *store) apply(u *update) (created, removed []string, err error) {
 		if u.Name != "" {
 			e, exists := ctx.bindings[u.Name]
 			if !exists || e.childCtx == "" {
-				return nil, nil, errNotFound(u.Name)
+				return nil, nil, 0, errNotFound(u.Name)
 			}
 			target = s.ctxs[e.childCtx]
 		}
 		if !target.repl {
-			return nil, nil, errNotRepl(target.id)
+			return nil, nil, 0, errNotRepl(target.id)
 		}
 		target.selector = u.Ref
 	default:
-		return nil, nil, fmt.Errorf("names: unknown op %d", u.Op)
+		return nil, nil, 0, fmt.Errorf("names: unknown op %d", u.Op)
 	}
-	return created, removed, nil
+	return created, removed, adopted, nil
 }
 
 // removeSubtree deletes a context and, recursively, the local contexts
@@ -199,14 +228,25 @@ func (s *store) snapshot() []byte {
 			e.PutString(name)
 			b.ref.MarshalWire(e)
 			e.PutString(b.childCtx)
+			e.PutUint(b.trace)
 		}
+	}
+	fkeys := make([]string, 0, len(s.failures))
+	for k := range s.failures {
+		fkeys = append(fkeys, k)
+	}
+	sort.Strings(fkeys)
+	e.PutUint(uint64(len(fkeys)))
+	for _, k := range fkeys {
+		e.PutString(k)
+		e.PutUint(s.failures[k])
 	}
 	return e.Bytes()
 }
 
 func storeFromSnapshot(buf []byte) (*store, error) {
 	d := wire.NewDecoder(buf)
-	s := &store{ctxs: make(map[string]*ctxNode)}
+	s := &store{ctxs: make(map[string]*ctxNode), failures: make(map[string]uint64)}
 	s.nextID = d.Int()
 	nctx := d.Count()
 	for i := 0; i < nctx && d.Err() == nil; i++ {
@@ -221,9 +261,15 @@ func storeFromSnapshot(buf []byte) (*store, error) {
 			var e entry
 			e.ref.UnmarshalWire(d)
 			e.childCtx = d.String()
+			e.trace = d.Uint()
 			n.bindings[name] = e
 		}
 		s.ctxs[n.id] = n
+	}
+	nf := d.Count()
+	for i := 0; i < nf && d.Err() == nil; i++ {
+		k := d.String()
+		s.failures[k] = d.Uint()
 	}
 	if d.Err() != nil {
 		return nil, d.Err()

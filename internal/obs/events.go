@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Flight recorder: a bounded per-node ring of the decisions that matter when
+// reconstructing a failover — object deaths, audit evictions, unbinds and
+// rebinds, elections, SSC restarts, CSC ping failures.  Counters say *how
+// often* those happened; the recorder says *in what order, on which node,
+// and as part of which causal trace*.  Every node exposes its ring through
+// the ORB's built-in _events call and the debug server's /debug/events;
+// itv-admin merges the rings into one cluster timeline.
+//
+// Event names follow the subsystem_event convention (lowercase, underscore-
+// separated, at least two words) — enforced by itv-vet's eventname check.
+
+// DefaultEventRing is the per-node ring capacity.  Big enough to hold the
+// full story of a failover plus the steady-state chatter around it; small
+// enough that a ring is never a memory concern.
+const DefaultEventRing = 512
+
+// Event is one recorded decision.
+type Event struct {
+	Seq    uint64    // per-node sequence, 1-based, assigned at record time
+	Time   time.Time // injected-clock time of the decision
+	Node   string    // host identity of the recording node
+	Trace  uint64    // causal trace id; 0 = not part of a sampled trace
+	Name   string    // subsystem_event
+	Detail string    // free-form context (names, addresses, errors)
+}
+
+// String formats one event as a timeline line.
+func (e Event) String() string {
+	trace := "-"
+	if e.Trace != 0 {
+		trace = fmt.Sprintf("%016x", e.Trace)
+	}
+	return fmt.Sprintf("%s %-15s %s %-22s %s",
+		e.Time.UTC().Format("15:04:05.000000"), e.Node, trace, e.Name, e.Detail)
+}
+
+// Recorder is one node's bounded event ring.  Recording is mutex-guarded
+// and cheap (no allocation beyond the detail strings the caller builds);
+// it happens at failure-handling decision sites, never on the RPC hot path.
+type Recorder struct {
+	node string
+
+	mu   sync.Mutex
+	buf  []Event // ring storage; grows to capacity, then wraps
+	next int     // overwrite position once the ring is full
+	seq  uint64  // total events ever recorded
+}
+
+// NewRecorder returns a recorder for a node identity with the given ring
+// capacity (DefaultEventRing if size <= 0).
+func NewRecorder(node string, size int) *Recorder {
+	if size <= 0 {
+		size = DefaultEventRing
+	}
+	return &Recorder{node: node, buf: make([]Event, 0, size)}
+}
+
+// Record appends one event.  t is the injected clock's now — passed in by
+// the caller because obs must not depend on any particular clock.
+func (r *Recorder) Record(t time.Time, trace uint64, name, detail string) {
+	r.mu.Lock()
+	r.seq++
+	e := Event{Seq: r.seq, Time: t, Node: r.node, Trace: trace, Name: name, Detail: detail}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the ring's contents, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// ---- per-node recorders ----
+
+var (
+	recordersMu sync.Mutex
+	recorders   = make(map[string]*Recorder)
+)
+
+// NodeRecorder returns the flight recorder for a host identity, creating it
+// on first use — the event-side twin of Node.
+func NodeRecorder(host string) *Recorder {
+	recordersMu.Lock()
+	defer recordersMu.Unlock()
+	r, ok := recorders[host]
+	if !ok {
+		r = NewRecorder(host, DefaultEventRing)
+		recorders[host] = r
+	}
+	return r
+}
+
+// RecorderHosts lists every node with a recorder, sorted.
+func RecorderHosts() []string {
+	recordersMu.Lock()
+	out := make([]string, 0, len(recorders))
+	for h := range recorders {
+		out = append(out, h)
+	}
+	recordersMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// MergeEvents merges per-node event lists into one causally-ordered
+// timeline: by time, then node, then per-node sequence.  With the cluster's
+// injected clock all nodes share a time base, so time order *is* the causal
+// order wherever causality crosses nodes through an RPC.
+func MergeEvents(lists ...[]Event) []Event {
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]Event, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// FilterTrace keeps only the events of one causal trace.
+func FilterTrace(events []Event, trace uint64) []Event {
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Trace == trace {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteEvents writes events one line each — the shared timeline format used
+// by itv-admin, /debug/events and the CI failure dump.
+func WriteEvents(w io.Writer, events []Event) {
+	for _, e := range events {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// WriteAllEvents writes the merged timeline of every node's ring.
+func WriteAllEvents(w io.Writer) {
+	lists := make([][]Event, 0, 8)
+	for _, h := range RecorderHosts() {
+		lists = append(lists, NodeRecorder(h).Events())
+	}
+	WriteEvents(w, MergeEvents(lists...))
+}
+
+// DumpEventsOnFailure writes the merged cluster timeline to w when the
+// ITV_FLIGHT_DUMP environment variable is set — called from TestMain on a
+// failing run so CI logs carry the failover timeline for flaky-test triage.
+// It reports whether a dump was written.
+func DumpEventsOnFailure(w io.Writer) bool {
+	if os.Getenv("ITV_FLIGHT_DUMP") == "" {
+		return false
+	}
+	fmt.Fprintln(w, "=== flight recorder (ITV_FLIGHT_DUMP) ===")
+	WriteAllEvents(w)
+	return true
+}

@@ -7,16 +7,30 @@ import (
 	"net/http/pprof"
 )
 
-// DebugHandler builds the opt-in debug surface: /metrics (text snapshot
-// via write), /healthz, and the pprof family under /debug/pprof/.  The
-// handler is mounted on its own mux so nothing leaks into
-// http.DefaultServeMux.
-func DebugHandler(write func(w io.Writer)) http.Handler {
+// MetricsContentType is the Content-Type of every metrics surface: the
+// Prometheus text exposition type, which the "name value" line format is a
+// (label-order-stable, sorted) subset of.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// DebugHandler builds the opt-in debug surface: /metrics (sorted text
+// snapshot via metrics, also mounted at /debug/metrics), /debug/events (the
+// flight-recorder timeline via events, may be nil), /healthz, and the pprof
+// family under /debug/pprof/.  The handler is mounted on its own mux so
+// nothing leaks into http.DefaultServeMux.
+func DebugHandler(metrics, events func(w io.Writer)) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		write(w)
-	})
+	serveMetrics := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", MetricsContentType)
+		metrics(w)
+	}
+	mux.HandleFunc("/metrics", serveMetrics)
+	mux.HandleFunc("/debug/metrics", serveMetrics)
+	if events != nil {
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			events(w)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -29,16 +43,15 @@ func DebugHandler(write func(w io.Writer)) http.Handler {
 	return mux
 }
 
-// ServeDebug listens on addr and serves the debug surface until the
-// process exits.  It returns the bound address (useful with ":0") or an
-// error if the listen fails; serving itself runs on a background
-// goroutine.
-func ServeDebug(addr string, write func(w io.Writer)) (string, error) {
+// ServeDebug listens on addr and serves the debug surface until the process
+// exits.  It returns the bound address (useful with ":0") or an error if
+// the listen fails; serving itself runs on a background goroutine.
+func ServeDebug(addr string, metrics, events func(w io.Writer)) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugHandler(write)}
+	srv := &http.Server{Handler: DebugHandler(metrics, events)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -185,11 +187,15 @@ func TestTracer(t *testing.T) {
 func TestDebugServer(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("debug_hits").Add(9)
-	addr, err := ServeDebug("127.0.0.1:0", r.WriteText)
+	rec := NewRecorder("testnode", 8)
+	rec.Record(time.Unix(5, 0), 0xabc, "test_event", "hello")
+	addr, err := ServeDebug("127.0.0.1:0", r.WriteText, func(w io.Writer) {
+		WriteEvents(w, rec.Events())
+	})
 	if err != nil {
 		t.Fatalf("ServeDebug: %v", err)
 	}
-	get := func(path string) (int, string) {
+	get := func(path string) (int, string, string) {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -199,15 +205,136 @@ func TestDebugServer(t *testing.T) {
 		if _, err := io.Copy(&b, resp.Body); err != nil {
 			t.Fatalf("read %s: %v", path, err)
 		}
-		return resp.StatusCode, b.String()
+		return resp.StatusCode, b.String(), resp.Header.Get("Content-Type")
 	}
-	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "debug_hits 9") {
+	code, body, ctype := get("/metrics")
+	if code != 200 || !strings.Contains(body, "debug_hits 9") {
 		t.Fatalf("/metrics = %d %q", code, body)
 	}
-	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+	if ctype != MetricsContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ctype, MetricsContentType)
+	}
+	if code2, body2, _ := get("/debug/metrics"); code2 != 200 || body2 != body {
+		t.Fatalf("/debug/metrics = %d %q, want the /metrics body", code2, body2)
+	}
+	if code, body, _ := get("/debug/events"); code != 200 ||
+		!strings.Contains(body, "test_event") || !strings.Contains(body, "hello") {
+		t.Fatalf("/debug/events = %d %q", code, body)
+	}
+	if code, body, _ := get("/healthz"); code != 200 || body != "ok\n" {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
-	if code, _ := get("/debug/pprof/"); code != 200 {
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
 		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestMetricsOrderingPinned pins the contract that every metrics surface
+// depends on: snapshots are sorted by metric name, so successive scrapes are
+// diffable line-by-line.
+func TestMetricsOrderingPinned(t *testing.T) {
+	r := NewRegistry()
+	// Register in deliberately unsorted order.
+	r.Counter("zz_last").Add(3)
+	r.Counter("aa_first").Add(1)
+	r.Gauge("mm_middle").Set(2)
+	want := "aa_first 1\nmm_middle 2\nzz_last 3\n"
+	if got := r.Text(); got != want {
+		t.Fatalf("Text() = %q, want %q", got, want)
+	}
+	names := make([]string, 0, 3)
+	for _, s := range r.Snapshot() {
+		names = append(names, s.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	rec := NewRecorder("n1", 4)
+	for i := 1; i <= 6; i++ {
+		rec.Record(time.Unix(int64(i), 0), 0, "ring_event", "")
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// Oldest two were overwritten; the survivors are 3..6 in order.
+	for i, e := range evs {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Fatalf("evs[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestMergeEventsOrdering(t *testing.T) {
+	a := NewRecorder("aa", 8)
+	b := NewRecorder("bb", 8)
+	b.Record(time.Unix(2, 0), 7, "later_event", "")
+	a.Record(time.Unix(1, 0), 7, "earlier_event", "")
+	a.Record(time.Unix(2, 0), 0, "tie_event", "")
+	merged := MergeEvents(a.Events(), b.Events())
+	got := []string{merged[0].Name, merged[1].Name, merged[2].Name}
+	want := []string{"earlier_event", "tie_event", "later_event"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged order = %v, want %v", got, want)
+		}
+	}
+	tr := FilterTrace(merged, 7)
+	if len(tr) != 2 || tr[0].Name != "earlier_event" || tr[1].Name != "later_event" {
+		t.Fatalf("FilterTrace = %v", tr)
+	}
+}
+
+func TestDumpEventsOnFailure(t *testing.T) {
+	NodeRecorder("dump-node").Record(time.Unix(5, 0), 0, "dump_probe", "hello")
+
+	t.Setenv("ITV_FLIGHT_DUMP", "")
+	var b strings.Builder
+	if DumpEventsOnFailure(&b) || b.Len() != 0 {
+		t.Fatalf("dump without ITV_FLIGHT_DUMP wrote %q", b.String())
+	}
+
+	t.Setenv("ITV_FLIGHT_DUMP", "1")
+	if !DumpEventsOnFailure(&b) {
+		t.Fatal("dump with ITV_FLIGHT_DUMP set reported nothing written")
+	}
+	if !strings.Contains(b.String(), "dump_probe") || !strings.Contains(b.String(), "dump-node") {
+		t.Fatalf("dump missing recorded event:\n%s", b.String())
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if s := SpanFrom(context.Background()); s.Sampled || s.TraceID != 0 {
+		t.Fatalf("background span = %+v, want zero", s)
+	}
+	root := NewTrace()
+	if !root.Sampled || root.TraceID == 0 {
+		t.Fatalf("NewTrace = %+v, want sampled", root)
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	if got := SpanFrom(ctx); got != root {
+		t.Fatalf("SpanFrom = %+v, want %+v", got, root)
+	}
+
+	SetTraceSampling(false)
+	if s := NewTrace(); s.Sampled || s.TraceID != 0 {
+		SetTraceSampling(true)
+		t.Fatalf("NewTrace with sampling off = %+v, want zero", s)
+	}
+	SetTraceSampling(true)
+
+	var sink TraceSink
+	sctx := WithTraceSink(ctx, &sink)
+	if SinkFrom(context.Background()) != nil {
+		t.Fatal("background sink != nil")
+	}
+	SinkFrom(sctx).Set(0) // zero must not clobber
+	SinkFrom(sctx).Set(42)
+	SinkFrom(sctx).Set(0)
+	if got := sink.Trace(); got != 42 {
+		t.Fatalf("sink = %d, want 42", got)
 	}
 }

@@ -1,6 +1,8 @@
 package orb
 
 import (
+	"context"
+	"errors"
 	"net"
 	"sync"
 	"time"
@@ -275,6 +277,16 @@ func (e *Endpoint) dialNew(addr string) (*clientConn, error) {
 // buffer and must not be retained past the callback; Decoder.Bytes copies
 // and is always safe.
 func (e *Endpoint) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	return e.InvokeCtx(context.Background(), ref, method, put, get)
+}
+
+// InvokeCtx is Invoke with a caller-supplied context.  A sampled trace span
+// carried by ctx (obs.SpanFrom) is stamped onto the request and continues
+// on the server; a ctx deadline shorter than the endpoint's call timeout
+// bounds the round trip, surfacing as a ConnError wrapping
+// context.DeadlineExceeded.  An unsampled, deadline-free context — the
+// common case — adds no allocations to the call.
+func (e *Endpoint) InvokeCtx(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	if ref.IsNil() {
 		return ErrInvalidReference
 	}
@@ -286,7 +298,7 @@ func (e *Endpoint) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 		t.CallStart(c)
 	}
 	start := time.Now()
-	err := e.invoke(ref, method, put, get)
+	err := e.invoke(ctx, ref, method, put, get)
 	d := time.Since(start)
 	m.latencyFor(ref.TypeID, method).Observe(d)
 	if err != nil && Dead(err) {
@@ -298,12 +310,27 @@ func (e *Endpoint) Invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 	return err
 }
 
-func (e *Endpoint) invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+func (e *Endpoint) invoke(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	// Local implementation: a plain dispatch, no network (§3.2: "maps to a
 	// local implementation or to stubs that perform a remote procedure
 	// call").
 	if ref.Addr == e.addr {
-		return e.invokeLocal(ref, method, put, get)
+		return e.invokeLocal(ctx, ref, method, put, get)
+	}
+
+	// The effective timeout is the endpoint's configured bound, tightened by
+	// the context's deadline when that is sooner.
+	timeout := e.timeout()
+	ctxBound := false
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout, ctxBound = rem, true
+		}
+	}
+	if ctxBound && timeout <= 0 {
+		e.failures.Add(1)
+		e.metrics.callTimeouts.Inc()
+		return &ConnError{Op: "timeout", Err: context.DeadlineExceeded}
 	}
 
 	enc := wire.GetEncoder()
@@ -311,10 +338,16 @@ func (e *Endpoint) invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 		put(enc)
 	}
 	req := getRequest()
+	req.Version = wireVersion
 	req.ObjectID = ref.ObjectID
 	req.Incarnation = ref.Incarnation
 	req.Method = method
 	req.Body = enc.Bytes()
+	if sp := obs.SpanFrom(ctx); sp.Sampled {
+		req.TraceID = sp.TraceID
+		req.ParentSpanID = sp.SpanID
+		req.Sampled = true
+	}
 	if a := e.authenticator(); a != nil {
 		se := wire.GetEncoder()
 		req.appendSigPayload(se)
@@ -338,21 +371,36 @@ func (e *Endpoint) invoke(ref oref.Ref, method string, put func(*wire.Encoder), 
 		e.failures.Add(1)
 		return err
 	}
-	rf, err := cc.roundTrip(req, e.timeout())
+	rf, err := cc.roundTrip(req, timeout)
 	// The request frame was written (or the write failed) before roundTrip
 	// returned; the argument buffer and request record are free again.
 	putRequest(req)
 	wire.PutEncoder(enc)
 	if err != nil {
+		// When the context's deadline was the binding constraint, report it
+		// as such: callers select on errors.Is(err, context.DeadlineExceeded).
+		if ctxBound {
+			var ce *ConnError
+			if errors.As(err, &ce) && ce.Op == "timeout" {
+				err = &ConnError{Op: "timeout", Err: context.DeadlineExceeded}
+			}
+		}
 		e.failures.Add(1)
 		return err
 	}
 	err = decodeResponse(rf, get)
+	// Back-propagate an adopted trace id into the caller's sink, success or
+	// failure — adoption can accompany an application error.
+	if rf.resp.TraceID != 0 {
+		if sink := obs.SinkFrom(ctx); sink != nil {
+			sink.Set(rf.resp.TraceID)
+		}
+	}
 	putRespFrame(rf)
 	return err
 }
 
-func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+func (e *Endpoint) invokeLocal(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	e.mu.Lock()
 	closed := e.closed
 	sk, ok := e.objects[ref.ObjectID]
@@ -362,6 +410,9 @@ func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encod
 	}
 	if method == "_metrics" {
 		return e.metricsResult(get)
+	}
+	if method == "_events" {
+		return e.eventsResult(get)
 	}
 	if !ok || (ref.Incarnation != e.incarnation && ref.Incarnation != oref.AnyIncarnation) {
 		return ErrInvalidReference
@@ -378,9 +429,16 @@ func (e *Endpoint) invokeLocal(ref oref.Ref, method string, put func(*wire.Encod
 	s := getScratch()
 	s.call.method = method
 	s.call.caller = Caller{Principal: "local", Addr: e.addr, Local: true}
+	s.call.ctx = ctx
+	s.call.adopted = 0
 	s.args.Reset(enc.Bytes())
 	s.results.Reset()
 	err := sk.Dispatch(&s.call)
+	if s.call.adopted != 0 {
+		if sink := obs.SinkFrom(ctx); sink != nil {
+			sink.Set(s.call.adopted)
+		}
+	}
 	if err == nil && s.args.Err() != nil {
 		err = Errf(ExcBadArgs, "argument decode: %v", s.args.Err())
 	}
@@ -420,6 +478,9 @@ func decodeResponse(rf *respFrame, get func(*wire.Decoder) error) error {
 		return ErrNoSuchMethod
 	case statusShutdown:
 		return ErrShutdown
+	case statusBadVersion:
+		rf.dec.Reset(resp.Body)
+		return &VersionError{Client: wireVersion, Server: rf.dec.Uint()}
 	case statusApp:
 		return &AppError{Name: resp.ErrName, Msg: resp.ErrMsg}
 	default:

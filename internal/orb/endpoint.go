@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -55,6 +56,8 @@ type ServerCall struct {
 	caller  Caller
 	args    *wire.Decoder
 	results *wire.Encoder
+	ctx     context.Context
+	adopted uint64
 }
 
 // Method returns the invoked operation name.
@@ -68,6 +71,27 @@ func (c *ServerCall) Args() *wire.Decoder { return c.args }
 
 // Results returns the result encoder.
 func (c *ServerCall) Results() *wire.Encoder { return c.results }
+
+// Context returns the invocation's context.  When the caller propagated a
+// sampled trace, the context carries its span (obs.SpanFrom) so downstream
+// invokes made with InvokeCtx continue the trace across machines; otherwise
+// it is context.Background().  Like the call itself it must not be retained
+// past Dispatch's return.
+func (c *ServerCall) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// AdoptTrace reports that serving this call joined an existing causal trace
+// (e.g. a bind that consumed an audit tombstone left by a traced failure).
+// The id travels back on the response and lands in the caller's TraceSink.
+func (c *ServerCall) AdoptTrace(trace uint64) {
+	if trace != 0 {
+		c.adopted = trace
+	}
+}
 
 // Authenticator hooks call signing into the endpoint; the auth package
 // provides the Kerberos-like implementation (§3.3).  A nil authenticator
@@ -108,7 +132,9 @@ type Endpoint struct {
 	auth        atomic.Value // Authenticator; set via SetAuthenticator
 	trace       atomic.Value // obs.Tracer; set via SetTracer
 	callTimeout atomic.Int64 // nanoseconds; SetCallTimeout races Invoke
+	wireVer     atomic.Uint64
 	metrics     *epMetrics
+	recorder    *obs.Recorder
 
 	mu      sync.Mutex
 	objects map[string]Skeleton
@@ -153,12 +179,14 @@ func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint
 		addr:        addr,
 		incarnation: incarnationCounter.Add(1),
 		metrics:     newEpMetrics(tr.Host()),
+		recorder:    obs.NodeRecorder(tr.Host()),
 		objects:     make(map[string]Skeleton),
 		conns:       make(map[string]*clientConn),
 		dialing:     make(map[string]*dialWait),
 		serving:     make(map[net.Conn]struct{}),
 	}
 	e.callTimeout.Store(int64(10 * time.Second))
+	e.wireVer.Store(wireVersion)
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e
@@ -193,6 +221,14 @@ func (e *Endpoint) tracer() obs.Tracer {
 // Metrics returns the node registry this endpoint reports into — shared by
 // every endpoint on the same host, scraped remotely via MetricsOf.
 func (e *Endpoint) Metrics() *obs.Registry { return e.metrics.reg }
+
+// Recorder returns the flight recorder this endpoint's node records into —
+// shared by every endpoint on the same host, scraped remotely via EventsOf.
+func (e *Endpoint) Recorder() *obs.Recorder { return e.recorder }
+
+// acceptedWireVersion is the protocol version this endpoint serves.  It is
+// wireVersion except under tests that simulate an old-build server.
+func (e *Endpoint) acceptedWireVersion() uint64 { return e.wireVer.Load() }
 
 // SetCallTimeout bounds each remote invocation in real time.  It may be
 // called while invocations are in flight; each call reads the timeout once
@@ -364,7 +400,12 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 		sr.buf = frame
 		sr.dec.Reset(frame)
 		sr.req.UnmarshalWire(&sr.dec)
-		if sr.dec.Err() != nil || sr.dec.Remaining() != 0 {
+		// A version-mismatched request legitimately leaves its payload
+		// undecoded (UnmarshalWire stops after the envelope); only a frame
+		// that fails decoding, or trails garbage under *our* version, is a
+		// protocol violation worth dropping the connection for.
+		if sr.dec.Err() != nil ||
+			(sr.req.Version == wireVersion && sr.dec.Remaining() != 0) {
 			putServerReq(sr)
 			return // protocol violation: drop the connection
 		}
@@ -433,6 +474,17 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	resp.reset()
 	resp.ReqID = req.ReqID
 
+	// Version gate first: a mismatched request's payload fields are not
+	// decoded (and must not be interpreted), but the envelope is enough to
+	// route a clean, versioned refusal back to the caller's waiter.
+	if accepted := e.acceptedWireVersion(); req.Version != accepted {
+		resp.Status = statusBadVersion
+		s.results.Reset()
+		s.results.PutUint(accepted)
+		resp.Body = s.results.Bytes()
+		return
+	}
+
 	caller := Caller{Addr: remoteAddr}
 	if a := e.authenticator(); a != nil {
 		se := wire.GetEncoder()
@@ -470,6 +522,17 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 		return
 	}
 
+	// Built-in flight-recorder scrape: like _metrics, a node property that
+	// answers before incarnation and object-id validation — the whole point
+	// is reconstructing the story of nodes whose references died.
+	if req.Method == "_events" {
+		s.results.Reset()
+		appendEvents(&s.results, e.recorder.Events())
+		resp.Status = statusOK
+		resp.Body = s.results.Bytes()
+		return
+	}
+
 	if (req.Incarnation != e.incarnation && req.Incarnation != oref.AnyIncarnation) || !ok {
 		e.metrics.invalidRefs.Inc()
 		resp.Status = statusInvalidRef
@@ -486,6 +549,16 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	call := &s.call
 	call.method = req.Method
 	call.caller = caller
+	call.adopted = 0
+	// Re-materialize the caller's trace span.  Unsampled calls — the hot
+	// path — get the shared Background context and allocate nothing; only a
+	// sampled call pays for a context value carrying its span.
+	if req.Sampled && req.TraceID != 0 {
+		call.ctx = obs.ContextWithSpan(context.Background(),
+			obs.Span{TraceID: req.TraceID, SpanID: obs.NewSpanID(), Sampled: true})
+	} else {
+		call.ctx = context.Background()
+	}
 	s.args.Reset(req.Body)
 	s.results.Reset()
 	e.metrics.dispatches.Inc()
@@ -502,6 +575,7 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	if err == nil && s.args.Err() != nil {
 		err = Errf(ExcBadArgs, "argument decode: %v", s.args.Err())
 	}
+	resp.TraceID = call.adopted
 	switch {
 	case err == nil:
 		resp.Status = statusOK

@@ -47,6 +47,20 @@ func (e *ConnError) Unwrap() []error { return []error{ErrUnreachable, e.Err} }
 // endpoint's call timeout.
 var errCallTimeout = errors.New("call timed out awaiting response")
 
+// VersionError reports a wire-protocol version mismatch: the server decoded
+// our envelope, refused the rest, and told us which version it accepts.
+// It is deliberately not Dead(): rebinding to another replica of the same
+// build will not fix a protocol gap, and retry storms against a mismatched
+// server help nobody.
+type VersionError struct {
+	Client uint64 // version this process speaks
+	Server uint64 // version the peer accepts
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("orb: wire version mismatch: client speaks v%d, server accepts v%d", e.Client, e.Server)
+}
+
 // AppError is an application-level exception raised by a skeleton and
 // re-raised in the client, identified by a stable name (the IDL exception
 // tag) plus a human-readable message.

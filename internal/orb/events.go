@@ -1,0 +1,77 @@
+package orb
+
+import (
+	"time"
+
+	"itv/internal/obs"
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// Wire form of the flight-recorder scrape (the built-in _events call): an
+// event count, then per event the sequence, unix-nano time, node, trace id,
+// name and detail.  Like _metrics this is a node property served before
+// reference validation, so operators can interrogate nodes they hold no
+// valid reference to.
+
+func appendEvents(e *wire.Encoder, events []obs.Event) {
+	e.PutUint(uint64(len(events)))
+	for _, ev := range events {
+		e.PutUint(ev.Seq)
+		e.PutInt(ev.Time.UnixNano())
+		e.PutString(ev.Node)
+		e.PutUint(ev.Trace)
+		e.PutString(ev.Name)
+		e.PutString(ev.Detail)
+	}
+}
+
+func decodeEvents(d *wire.Decoder) []obs.Event {
+	n := d.Count()
+	out := make([]obs.Event, 0, n)
+	for i := 0; i < n; i++ {
+		var ev obs.Event
+		ev.Seq = d.Uint()
+		ev.Time = time.Unix(0, d.Int())
+		ev.Node = d.String()
+		ev.Trace = d.Uint()
+		ev.Name = d.String()
+		ev.Detail = d.String()
+		if d.Err() != nil {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// eventsResult serves the local short-circuit path of _events.
+func (e *Endpoint) eventsResult(get func(*wire.Decoder) error) error {
+	if get == nil {
+		return nil
+	}
+	enc := wire.NewEncoder(256)
+	appendEvents(enc, e.recorder.Events())
+	d := wire.NewDecoder(enc.Bytes())
+	if err := get(d); err != nil {
+		return err
+	}
+	if d.Err() != nil {
+		return Errf(ExcBadArgs, "result decode: %v", d.Err())
+	}
+	return nil
+}
+
+// EventsOf scrapes the flight-recorder ring of the endpoint at addr using
+// the built-in _events method.  Like MetricsOf it works against any live
+// endpoint regardless of incarnation or object ids; itv-admin fans it out
+// across the cluster to build the merged failover timeline.
+func (e *Endpoint) EventsOf(addr string) ([]obs.Event, error) {
+	ref := oref.Ref{Addr: addr, Incarnation: oref.AnyIncarnation, TypeID: "itv.Node"}
+	var out []obs.Event
+	err := e.Invoke(ref, "_events", nil, func(d *wire.Decoder) error {
+		out = decodeEvents(d)
+		return nil
+	})
+	return out, err
+}

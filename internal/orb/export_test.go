@@ -1,0 +1,10 @@
+package orb
+
+// SetWireVersionForTest makes the endpoint *accept* (and therefore serve)
+// only the given protocol version, simulating a server built at a different
+// wire version than the client.  Test-only: the version an endpoint speaks
+// as a client is always wireVersion.
+func (e *Endpoint) SetWireVersionForTest(v uint64) { e.wireVer.Store(v) }
+
+// WireVersion exposes the protocol version constant to tests.
+const WireVersion = wireVersion

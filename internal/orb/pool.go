@@ -111,6 +111,8 @@ func getScratch() *callScratch { return scratchPool.Get().(*callScratch) }
 func putScratch(s *callScratch) {
 	s.call.method = ""
 	s.call.caller = Caller{}
+	s.call.ctx = nil
+	s.call.adopted = 0
 	s.args.Reset(nil)
 	s.results.Reset()
 	s.resp.reset()

@@ -4,6 +4,14 @@ import (
 	"itv/internal/wire"
 )
 
+// wireVersion is the ORB protocol version this build speaks.  v2 added the
+// Version field itself plus the trace-propagation fields (TraceID,
+// ParentSpanID, Sampled) and the response's adopted TraceID; see DESIGN.md
+// §10 for the negotiation rules.  v1 frames had no version field at all, so
+// v1↔v2 was a flag-day break; from v2 on, a mismatch yields a clean
+// statusBadVersion reply instead of a dropped connection.
+const wireVersion = 2
+
 // Wire status codes for responses.
 const (
 	statusOK uint64 = iota
@@ -11,6 +19,7 @@ const (
 	statusNoSuchMethod
 	statusApp
 	statusShutdown
+	statusBadVersion
 )
 
 // request is the on-wire invocation record.
@@ -19,19 +28,28 @@ const (
 // frame buffer being decoded, so a decoded request is valid only until its
 // frame buffer is reused.  Both endpoint read loops hand the frame buffer's
 // ownership along with the request and release the two together.
+//
+// The trace fields ride at the end and are excluded from the signature
+// payload: they are observability routing, not invocation identity, and a
+// relay must be able to re-stamp them without re-signing.
 type request struct {
-	ReqID       uint64
-	ObjectID    string
-	Incarnation int64
-	Method      string
-	Principal   string
-	Ticket      []byte
-	Sig         []byte
-	Body        []byte
+	ReqID        uint64
+	Version      uint64
+	ObjectID     string
+	Incarnation  int64
+	Method       string
+	Principal    string
+	Ticket       []byte
+	Sig          []byte
+	Body         []byte
+	TraceID      uint64
+	ParentSpanID uint64
+	Sampled      bool
 }
 
 func (r *request) MarshalWire(e *wire.Encoder) {
 	e.PutUint(r.ReqID)
+	e.PutUint(r.Version)
 	e.PutString(r.ObjectID)
 	e.PutInt(r.Incarnation)
 	e.PutString(r.Method)
@@ -39,10 +57,22 @@ func (r *request) MarshalWire(e *wire.Encoder) {
 	e.PutBytes(r.Ticket)
 	e.PutBytes(r.Sig)
 	e.PutBytes(r.Body)
+	e.PutUint(r.TraceID)
+	e.PutUint(r.ParentSpanID)
+	e.PutBool(r.Sampled)
 }
 
+// UnmarshalWire decodes the envelope (ReqID, Version) and, only when the
+// version matches this build, the rest of the record.  On a mismatch it
+// returns with the remainder undecoded — the server still has the ReqID it
+// needs to route a statusBadVersion reply, and it must not interpret field
+// layouts of a protocol it does not speak.
 func (r *request) UnmarshalWire(d *wire.Decoder) {
 	r.ReqID = d.Uint()
+	r.Version = d.Uint()
+	if r.Version != wireVersion {
+		return
+	}
 	r.ObjectID = d.String()
 	r.Incarnation = d.Int()
 	r.Method = d.String()
@@ -50,6 +80,9 @@ func (r *request) UnmarshalWire(d *wire.Decoder) {
 	r.Ticket = d.BytesView()
 	r.Sig = d.BytesView()
 	r.Body = d.BytesView()
+	r.TraceID = d.Uint()
+	r.ParentSpanID = d.Uint()
+	r.Sampled = d.Bool()
 }
 
 // reset clears a pooled request for reuse, dropping references into any
@@ -79,12 +112,18 @@ func (r *request) SigPayload() []byte {
 // response is the on-wire reply record.  Like request, UnmarshalWire leaves
 // Body aliasing the frame buffer; respFrame couples the two so ownership
 // moves as one unit from the read loop to the waiting caller.
+//
+// TraceID, when nonzero, is the causal trace the server *adopted* while
+// serving this call (e.g. a bind that consumed an audit tombstone); the
+// client deposits it into the caller's TraceSink so asynchronous recovery
+// paths can join the trace of the failure they are recovering from.
 type response struct {
 	ReqID   uint64
 	Status  uint64
 	ErrName string
 	ErrMsg  string
 	Body    []byte
+	TraceID uint64
 }
 
 func (r *response) MarshalWire(e *wire.Encoder) {
@@ -93,6 +132,7 @@ func (r *response) MarshalWire(e *wire.Encoder) {
 	e.PutString(r.ErrName)
 	e.PutString(r.ErrMsg)
 	e.PutBytes(r.Body)
+	e.PutUint(r.TraceID)
 }
 
 func (r *response) UnmarshalWire(d *wire.Decoder) {
@@ -101,6 +141,7 @@ func (r *response) UnmarshalWire(d *wire.Decoder) {
 	r.ErrName = d.String()
 	r.ErrMsg = d.String()
 	r.Body = d.BytesView()
+	r.TraceID = d.Uint()
 }
 
 // reset clears a pooled response for reuse.

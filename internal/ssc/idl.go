@@ -1,6 +1,8 @@
 package ssc
 
 import (
+	"context"
+
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/wire"
@@ -97,8 +99,10 @@ func (s Stub) Running() ([]string, error) {
 // Ping probes the SSC's liveness (the CSC's server-failure detector, §6.3).
 func (s Stub) Ping() error { return s.Ep.Ping(s.Ref) }
 
-// CallbackFunc adapts a Go function to the SSCCallback IDL.
-type CallbackFunc func(refs []oref.Ref, alive bool)
+// CallbackFunc adapts a Go function to the SSCCallback IDL.  The context is
+// the server call's: when the SSC reported a death under a sampled trace,
+// the callback can continue that trace (obs.SpanFrom) into its own work.
+type CallbackFunc func(ctx context.Context, refs []oref.Ref, alive bool)
 
 // TypeID implements orb.Skeleton.
 func (CallbackFunc) TypeID() string { return TypeCallback }
@@ -110,6 +114,6 @@ func (f CallbackFunc) Dispatch(c *orb.ServerCall) error {
 	}
 	refs := oref.Refs(c.Args())
 	alive := c.Args().Bool()
-	f(refs, alive)
+	f(c.Context(), refs, alive)
 	return nil
 }

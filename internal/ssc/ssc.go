@@ -7,6 +7,7 @@
 package ssc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -54,6 +55,7 @@ type Controller struct {
 	tr  transport.Transport
 	clk clock.Clock
 	ep  *orb.Endpoint
+	rec *obs.Recorder
 	tbl *proc.Table
 
 	mu        sync.Mutex
@@ -79,6 +81,7 @@ func New(tr transport.Transport, clk clock.Clock) (*Controller, error) {
 		tr:           tr,
 		clk:          clk,
 		ep:           ep,
+		rec:          obs.NodeRecorder(tr.Host()),
 		tbl:          proc.NewTable(),
 		specs:        make(map[string]ServiceSpec),
 		running:      make(map[string]*running),
@@ -173,6 +176,7 @@ func (c *Controller) launch(spec ServiceSpec) error {
 // the service is restarted after RestartDelay (§6.1, §8.1).
 func (c *Controller) monitor(spec ServiceSpec, p *proc.Process) {
 	<-p.Done()
+	c.rec.Record(c.clk.Now(), 0, "ssc_service_exit", spec.Name)
 	c.reapObjects(p)
 	c.tbl.Reap(p.PID())
 
@@ -203,6 +207,7 @@ func (c *Controller) monitor(spec ServiceSpec, p *proc.Process) {
 	c.restarts++
 	c.mu.Unlock()
 	obs.Node(c.tr.Host()).Counter("ssc_restarts").Inc()
+	c.rec.Record(c.clk.Now(), 0, "ssc_service_restart", spec.Name)
 	// A failed restart is retried on the next failure notification; a
 	// service whose Start cannot succeed stays down until an operator or
 	// the CSC intervenes.
@@ -210,15 +215,26 @@ func (c *Controller) monitor(spec ServiceSpec, p *proc.Process) {
 }
 
 // reapObjects removes a dead process's objects and notifies callbacks.
+// This is where a failover's causal trace is born: the SSC is the first
+// observer of an object death (§6.1), so it mints the trace that the RAS
+// notification, the name-space audit, and the eventual rebind all join.
 func (c *Controller) reapObjects(p *proc.Process) {
 	c.mu.Lock()
 	refs := c.objects[p.PID()]
 	delete(c.objects, p.PID())
 	cbs := append([]oref.Ref(nil), c.callbacks...)
 	c.mu.Unlock()
-	if len(refs) > 0 {
-		c.invokeCallbacks(cbs, refs, false)
+	if len(refs) == 0 {
+		return
 	}
+	sp := obs.NewTrace()
+	ctx := context.Background()
+	if sp.Sampled {
+		ctx = obs.ContextWithSpan(ctx, sp)
+		c.rec.Record(c.clk.Now(), sp.TraceID, "ssc_object_death",
+			fmt.Sprintf("%s: %d object(s) of pid %d", p.Name(), len(refs), p.PID()))
+	}
+	c.invokeCallbacks(ctx, cbs, refs, false)
 }
 
 // StopService stops the named service without restart.
@@ -259,7 +275,7 @@ func (c *Controller) NotifyReady(pid int, refs []oref.Ref) {
 	c.objects[pid] = append(c.objects[pid], refs...)
 	cbs := append([]oref.Ref(nil), c.callbacks...)
 	c.mu.Unlock()
-	c.invokeCallbacks(cbs, refs, true)
+	c.invokeCallbacks(context.Background(), cbs, refs, true)
 }
 
 // RegisterCallback adds a callback object invoked whenever the live-object
@@ -274,13 +290,13 @@ func (c *Controller) RegisterCallback(cb oref.Ref) {
 	}
 	c.mu.Unlock()
 	if len(live) > 0 {
-		c.invokeCallbacks([]oref.Ref{cb}, live, true)
+		c.invokeCallbacks(context.Background(), []oref.Ref{cb}, live, true)
 	}
 }
 
-func (c *Controller) invokeCallbacks(cbs []oref.Ref, refs []oref.Ref, alive bool) {
+func (c *Controller) invokeCallbacks(ctx context.Context, cbs []oref.Ref, refs []oref.Ref, alive bool) {
 	for _, cb := range cbs {
-		_ = c.ep.Invoke(cb, "objectsChanged",
+		_ = c.ep.InvokeCtx(ctx, cb, "objectsChanged",
 			func(e *wire.Encoder) {
 				oref.PutRefs(e, refs)
 				e.PutBool(alive)

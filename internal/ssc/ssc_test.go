@@ -1,6 +1,7 @@
 package ssc
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -183,7 +184,7 @@ func TestCallbacksSeeObjectLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cbHost.Close()
-	cbRef := cbHost.Register("cb", CallbackFunc(func(refs []oref.Ref, alive bool) {
+	cbRef := cbHost.Register("cb", CallbackFunc(func(_ context.Context, refs []oref.Ref, alive bool) {
 		mu.Lock()
 		for _, r := range refs {
 			events[r.Key()] = alive
