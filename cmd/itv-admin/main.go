@@ -13,6 +13,12 @@
 //	itv-admin metrics <host:port>             # scrape a node's obs registry
 //	itv-admin events [host ...]               # merged cluster flight recorder
 //	itv-admin trace <trace-id> [host ...]     # one failover's causal timeline
+//	itv-admin watch [-once] [-interval 2s] [host ...]  # live RED dashboard (_health RPC)
+//
+// Cross-node timelines (events, trace) are merged in hybrid-logical-clock
+// order, not wall order, so they stay causally correct even when server
+// clocks disagree; pairs the clocks cannot order are marked "?~" using the
+// cluster's measured offset uncertainty.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"itv/internal/clock"
 	"itv/internal/cmgr"
@@ -160,19 +167,28 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(text)
+		// Latency quantiles, interpolated from the histogram buckets above.
+		if sums := obs.SummarizeHistograms(obs.ParseText(text)); len(sums) > 0 {
+			fmt.Printf("\n%-44s %8s %8s %8s %8s\n", "HISTOGRAM", "COUNT", "P50", "P95", "P99")
+			for _, s := range sums {
+				fmt.Printf("%-44s %8d %8s %8s %8s\n", s.Name, s.Count, s.P50, s.P95, s.P99)
+			}
+		}
 
 	case "events":
 		// Fan the built-in _events scrape out across the cluster and print
-		// one merged, causally ordered timeline.
-		merged, err := clusterEvents(sess, ep, args[1:])
+		// one merged timeline in HLC order (wall order lies across skewed
+		// machines); unorderable neighbors are marked "?~".
+		hosts, err := clusterHosts(sess, args[1:])
 		if err != nil {
 			log.Fatal(err)
 		}
-		obs.WriteEvents(os.Stdout, merged)
+		merged := obs.MergeEventsHLC(scrapeEvents(ep, hosts)...)
+		obs.WriteEventsHLC(os.Stdout, merged, clusterUncertainty(ep, hosts))
 
 	case "trace":
 		// Reconstruct one failover end-to-end: every node's flight-recorder
-		// entries carrying the given trace id, in causal order.
+		// entries carrying the given trace id, in causal (HLC) order.
 		if len(args) < 2 {
 			log.Fatal("usage: trace <trace-id> [host ...]")
 		}
@@ -180,15 +196,49 @@ func main() {
 		if err != nil || id == 0 {
 			log.Fatalf("bad trace id %q (want hex, e.g. 4a1f00d2c3b4a596)", args[1])
 		}
-		merged, err := clusterEvents(sess, ep, args[2:])
+		hosts, err := clusterHosts(sess, args[2:])
 		if err != nil {
 			log.Fatal(err)
 		}
+		merged := obs.MergeEventsHLC(scrapeEvents(ep, hosts)...)
 		chain := obs.FilterTrace(merged, id)
 		if len(chain) == 0 {
 			log.Fatalf("no events for trace %016x (rings are bounded; scrape sooner)", id)
 		}
-		obs.WriteEvents(os.Stdout, chain)
+		obs.WriteEventsHLC(os.Stdout, chain, clusterUncertainty(ep, hosts))
+
+	case "watch":
+		// Live cluster dashboard: every node's _health windows rendered as
+		// per-method RED rows (rate, errors, p50/p99) plus runtime gauges
+		// and measured clock offsets.
+		wf := flag.NewFlagSet("watch", flag.ExitOnError)
+		once := wf.Bool("once", false, "render a single frame and exit")
+		interval := wf.Duration("interval", 2*time.Second, "refresh interval")
+		wf.Parse(args[1:])
+		hosts, err := clusterHosts(sess, wf.Args())
+		if err != nil {
+			log.Fatal(err)
+		}
+		clk := clock.Real()
+		for {
+			var reports []*obs.HealthReport
+			for _, h := range hosts {
+				rep, err := ep.HealthOf(sscAddr(h), 0)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "health %s: %v\n", h, err)
+					continue
+				}
+				reports = append(reports, rep)
+			}
+			if !*once {
+				fmt.Print("\x1b[H\x1b[2J") // clear screen, cursor home
+			}
+			obs.RenderHealth(os.Stdout, reports, 24)
+			if *once {
+				return
+			}
+			clk.Sleep(*interval)
+		}
 
 	case "move":
 		if len(args) < 3 {
@@ -205,26 +255,36 @@ func main() {
 	}
 }
 
-// clusterEvents scrapes the flight recorder of every named host's SSC
-// endpoint (or, with no hosts given, every server the acting CSC knows)
-// and merges the rings into one timeline.
-func clusterEvents(sess *core.Session, ep *orb.Endpoint, hosts []string) ([]obs.Event, error) {
-	if len(hosts) == 0 {
-		st, err := csc.NewStub(sess).Status()
-		if err != nil {
-			return nil, fmt.Errorf("no hosts given and CSC unavailable: %w", err)
-		}
-		for h := range st {
-			hosts = append(hosts, h)
-		}
-		sort.Strings(hosts)
+// clusterHosts resolves the target host list: the ones given, or every
+// server the acting CSC knows.
+func clusterHosts(sess *core.Session, hosts []string) ([]string, error) {
+	if len(hosts) > 0 {
+		return hosts, nil
 	}
+	st, err := csc.NewStub(sess).Status()
+	if err != nil {
+		return nil, fmt.Errorf("no hosts given and CSC unavailable: %w", err)
+	}
+	for h := range st {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts, nil
+}
+
+// sscAddr turns a bare host into its SSC endpoint address.
+func sscAddr(h string) string {
+	if strings.Contains(h, ":") {
+		return h
+	}
+	return fmt.Sprintf("%s:%d", h, ssc.WellKnownPort)
+}
+
+// scrapeEvents fetches every host's flight-recorder ring.
+func scrapeEvents(ep *orb.Endpoint, hosts []string) [][]obs.Event {
 	var lists [][]obs.Event
 	for _, h := range hosts {
-		addr := h
-		if !strings.Contains(addr, ":") {
-			addr = fmt.Sprintf("%s:%d", h, ssc.WellKnownPort)
-		}
+		addr := sscAddr(h)
 		evs, err := ep.EventsOf(addr)
 		if err != nil {
 			// A down node is part of the story, not a reason to abort the
@@ -234,7 +294,29 @@ func clusterEvents(sess *core.Session, ep *orb.Endpoint, hosts []string) ([]obs.
 		}
 		lists = append(lists, evs)
 	}
-	return obs.MergeEvents(lists...), nil
+	return lists
+}
+
+// clusterUncertainty returns the worst measured clock-offset uncertainty
+// across the scraped nodes (the clock_offset_unc_ms gauges the CSC ping and
+// RAS poll loops maintain), floored at 2ms — the bound WriteEventsHLC uses
+// to flag orderings the clocks cannot prove.
+func clusterUncertainty(ep *orb.Endpoint, hosts []string) time.Duration {
+	unc := 2 * time.Millisecond
+	for _, h := range hosts {
+		text, err := ep.MetricsOf(sscAddr(h))
+		if err != nil {
+			continue
+		}
+		for _, s := range obs.ParseText(text) {
+			if strings.HasPrefix(s.Name, "clock_offset_unc_ms") {
+				if d := time.Duration(s.Value) * time.Millisecond; d > unc {
+					unc = d
+				}
+			}
+		}
+	}
+	return unc
 }
 
 // listTree prints the name space as an indented tree (Fig. 8).

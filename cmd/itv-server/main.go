@@ -58,6 +58,9 @@ func main() {
 		// scrape covers the ORB, transport, names, RAS and SSC counters.
 		addr, err := obs.ServeDebug(*debugAddr, obs.Node(host).WriteText, func(w io.Writer) {
 			obs.WriteEvents(w, obs.NodeRecorder(host).Events())
+		}, func(w io.Writer) {
+			h := obs.NodeHealth(host)
+			obs.RenderHealth(w, []*obs.HealthReport{h.Report(clock.Real().Now(), 0)}, 24)
 		})
 		if err != nil {
 			log.Fatalf("debug server: %v", err)

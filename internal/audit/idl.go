@@ -1,6 +1,8 @@
 package audit
 
 import (
+	"context"
+
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/wire"
@@ -84,6 +86,21 @@ type Invoker interface {
 	Invoke(ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
 }
 
+// CtxInvoker is the context-propagating invoker; orb.Endpoint implements
+// it.  Stub methods taking a context use it when available and fall back
+// to plain Invoke otherwise, so test fakes satisfying only Invoker keep
+// working.
+type CtxInvoker interface {
+	InvokeCtx(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
+}
+
+func invokeCtx(ep Invoker, ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if ci, ok := ep.(CtxInvoker); ok {
+		return ci.InvokeCtx(ctx, ref, method, put, get)
+	}
+	return ep.Invoke(ref, method, put, get)
+}
+
 // Stub is the client proxy for a RAS instance.
 type Stub struct {
 	Ep  Invoker
@@ -121,9 +138,16 @@ func (s Stub) LocalStatus(refs []oref.Ref) ([]bool, error) {
 
 // LocalStatusT is LocalStatus with the death trace per dead reference.
 func (s Stub) LocalStatusT(refs []oref.Ref) ([]bool, []uint64, error) {
+	return s.LocalStatusTCtx(context.Background(), refs)
+}
+
+// LocalStatusTCtx is LocalStatusT with a caller-supplied context, so the
+// RAS peer-poll loop can attach an obs.ClockSink and measure the peer's
+// clock offset from the same exchange it uses for auditing.
+func (s Stub) LocalStatusTCtx(ctx context.Context, refs []oref.Ref) ([]bool, []uint64, error) {
 	var alive []bool
 	var traces []uint64
-	err := s.Ep.Invoke(s.Ref, "localStatusT",
+	err := invokeCtx(s.Ep, ctx, s.Ref, "localStatusT",
 		func(e *wire.Encoder) { oref.PutRefs(e, refs) },
 		func(d *wire.Decoder) error { alive, traces = getStatuses(d); return nil })
 	return alive, traces, err

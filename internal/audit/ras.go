@@ -401,9 +401,18 @@ func (s *Service) poll() {
 
 func (s *Service) peerLocalStatus(host string, refs []oref.Ref) ([]bool, []uint64, error) {
 	s.peerRPCs.Inc()
-	alive, traces, err := (Stub{Ep: s.ep, Ref: RefAt(host)}).LocalStatusT(refs)
+	// The poll doubles as a clock-offset measurement (§7.2.1 already pays
+	// for the round trip): t1/t4 bracket the exchange, the sink captures
+	// the peer's HLC from the response frame.
+	var sink obs.ClockSink
+	t1 := s.clk.Now()
+	alive, traces, err := (Stub{Ep: s.ep, Ref: RefAt(host)}).
+		LocalStatusTCtx(obs.WithClockSink(context.Background(), &sink), refs)
+	t4 := s.clk.Now()
 	if err != nil {
 		s.peerRPCErrs.Inc()
+	} else {
+		obs.MeasureOffset(s.host, host, t1, t4, sink.Last())
 	}
 	return alive, traces, err
 }

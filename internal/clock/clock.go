@@ -55,6 +55,31 @@ type realTicker struct{ t *time.Ticker }
 func (r realTicker) C() <-chan time.Time { return r.t.C }
 func (r realTicker) Stop()               { r.t.Stop() }
 
+// WithOffset returns a clock whose Now reads d ahead of (or, negative,
+// behind) base.  Durations are unaffected: After, NewTicker and Sleep
+// delegate to base, so a skewed clock runs at the same rate and fires on
+// the same schedule — only its idea of "what time it is" differs.  Tests
+// use this to give each simulated server a deliberately wrong wall clock
+// over one shared Fake.
+func WithOffset(base Clock, d time.Duration) Clock {
+	if d == 0 {
+		return base
+	}
+	return offsetClock{base: base, d: d}
+}
+
+type offsetClock struct {
+	base Clock
+	d    time.Duration
+}
+
+func (o offsetClock) Now() time.Time                  { return o.base.Now().Add(o.d) }
+func (o offsetClock) Since(t time.Time) time.Duration { return o.Now().Sub(t) }
+
+func (o offsetClock) After(d time.Duration) <-chan time.Time { return o.base.After(d) }
+func (o offsetClock) NewTicker(d time.Duration) Ticker       { return o.base.NewTicker(d) }
+func (o offsetClock) Sleep(d time.Duration)                  { o.base.Sleep(d) }
+
 // Fake is a manually advanced clock.  Advance moves simulated time forward
 // and fires every timer and ticker that comes due, in order.  The zero
 // value is not usable; construct with NewFake.

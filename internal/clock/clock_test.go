@@ -174,3 +174,55 @@ func TestFakeAdvancePartialStepsAccumulate(t *testing.T) {
 		t.Fatal("timer did not fire after accumulated advances")
 	}
 }
+
+func TestWithOffsetShiftsNowOnly(t *testing.T) {
+	f := NewFake()
+	if c := WithOffset(f, 0); c != Clock(f) {
+		t.Fatal("zero offset should return the base clock unchanged")
+	}
+	c := WithOffset(f, time.Hour)
+	if got, want := c.Now(), f.Now().Add(time.Hour); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+
+	// Since measures against the shifted Now, so durations of events
+	// timestamped by the same skewed clock stay correct.
+	start := c.Now()
+	f.Advance(time.Minute)
+	if got := c.Since(start); got != time.Minute {
+		t.Fatalf("Since = %v, want 1m", got)
+	}
+
+	// Timers delegate to base: a skewed clock runs at the same rate and
+	// fires on the same schedule.
+	ch := c.After(10 * time.Second)
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("offset clock timer fired early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("offset clock timer did not fire at the base deadline")
+	}
+
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	f.Advance(time.Second)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("offset clock ticker did not tick")
+	}
+}
+
+func TestWithOffsetNegative(t *testing.T) {
+	f := NewFake()
+	c := WithOffset(f, -30*time.Minute)
+	if got, want := c.Now(), f.Now().Add(-30*time.Minute); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"itv/internal/csc"
 	"itv/internal/db"
 	"itv/internal/media"
+	"itv/internal/obs"
 	"itv/internal/settop"
 	"itv/internal/transport"
 )
@@ -80,6 +81,11 @@ type ServerSpec struct {
 	Movies []media.MovieInfo
 	// Egress is the server's ATM trunk (0 = default).
 	Egress int64
+	// ClockSkew offsets this server's wall clock from the cluster clock —
+	// every service on the server reads the skewed time.  The knob behind
+	// the skewed-clock failover tests: HLC ordering must survive what
+	// wall-clock ordering cannot.
+	ClockSkew time.Duration
 }
 
 // Config describes a whole cluster.
@@ -384,6 +390,11 @@ func joinCSV(ss []string) string {
 func (c *Cluster) NewSettop(nbhd string, idx int) *settop.Settop {
 	host := fmt.Sprintf("10.%s.%d.%d", nbhd, idx/250, idx%250+1)
 	c.Fabric.AddSettop(host)
+	// Pin the settop host's HLC to the simulated clock before its endpoint
+	// caches it: a settop left on the real clock would stamp wall-time
+	// readings onto every RPC and drag the whole cluster's HLCs decades
+	// ahead of simulated time (Observe only ever lifts).
+	obs.NodeHLC(host).SetNow(c.Clk.Now)
 	srv := c.ServerFor(nbhd)
 	if srv == nil {
 		srv = c.Servers[0]

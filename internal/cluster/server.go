@@ -6,6 +6,7 @@ import (
 	"itv/internal/audit"
 	"itv/internal/auth"
 	"itv/internal/bootsvc"
+	"itv/internal/clock"
 	"itv/internal/cmgr"
 	"itv/internal/core"
 	"itv/internal/csc"
@@ -30,7 +31,11 @@ type Server struct {
 	c     *Cluster
 	index int
 	Spec  ServerSpec
-	SSC   *ssc.Controller
+	// clk is this machine's wall clock: the cluster clock shifted by
+	// Spec.ClockSkew.  Timers run at the cluster rate; only "what time is
+	// it" differs, as on real machines with drifted clocks.
+	clk clock.Clock
+	SSC *ssc.Controller
 
 	mu     sync.Mutex
 	ns     *names.Replica
@@ -52,6 +57,7 @@ func newServer(c *Cluster, index int, spec ServerSpec) *Server {
 		c:     c,
 		index: index,
 		Spec:  spec,
+		clk:   clock.WithOffset(c.Clk, spec.ClockSkew),
 		cmgrs: make(map[string]*cmgr.Service),
 		rdss:  make(map[string]*rds.Service),
 	}
@@ -108,7 +114,7 @@ func (s *Server) session(p *proc.Process) (*core.Session, error) {
 	}
 	p.OnKill(ep.Close)
 	s.secure(ep)
-	return core.NewSession(ep, names.RootRefAt(s.nsAddr()), s.c.Clk), nil
+	return core.NewSession(ep, names.RootRefAt(s.nsAddr()), s.clk), nil
 }
 
 func (s *Server) nsAddr() string { return s.Spec.Host + ":555" }
@@ -123,7 +129,7 @@ func (s *Server) verifier() *auth.Verifier {
 	if s.c.Auth == nil {
 		return nil
 	}
-	v := auth.NewVerifier(s.c.Auth.RealmKey(), s.c.Clk)
+	v := auth.NewVerifier(s.c.Auth.RealmKey(), s.clk)
 	v.Name = "server/" + s.Spec.Host
 	return v
 }
@@ -138,7 +144,7 @@ func (s *Server) secure(ep *orb.Endpoint) {
 // start creates the SSC, installs every spec, and launches the basic
 // services (§6.3 steps 1–2).
 func (s *Server) start() {
-	ctl, err := ssc.New(s.c.NW.Host(s.Spec.Host), s.c.Clk)
+	ctl, err := ssc.New(s.c.NW.Host(s.Spec.Host), s.clk)
 	if err != nil {
 		panic("cluster: ssc on " + s.Spec.Host + ": " + err.Error())
 	}
@@ -201,7 +207,7 @@ func (s *Server) installSpecs() {
 	// ---- basic services ----
 
 	ctl.AddSpec(ssc.ServiceSpec{Name: "ns", Start: func(p *proc.Process, _ *ssc.Controller) error {
-		r, err := names.NewReplica(s.c.NW.Host(s.Spec.Host), s.c.Clk, names.Config{
+		r, err := names.NewReplica(s.c.NW.Host(s.Spec.Host), s.clk, names.Config{
 			Peers:             s.c.NSAddrs(),
 			HeartbeatInterval: tun.NSHeartbeat,
 			ElectionTimeout:   tun.NSElection,
@@ -222,7 +228,7 @@ func (s *Server) installSpecs() {
 	}})
 
 	ctl.AddSpec(ssc.ServiceSpec{Name: "mgr", Start: func(p *proc.Process, _ *ssc.Controller) error {
-		m, err := settopmgr.New(s.c.NW.Host(s.Spec.Host), s.c.Clk)
+		m, err := settopmgr.New(s.c.NW.Host(s.Spec.Host), s.clk)
 		if err != nil {
 			return err
 		}
@@ -235,7 +241,7 @@ func (s *Server) installSpecs() {
 	}})
 
 	ctl.AddSpec(ssc.ServiceSpec{Name: "ras", Start: func(p *proc.Process, _ *ssc.Controller) error {
-		r, err := audit.New(s.c.NW.Host(s.Spec.Host), s.c.Clk, audit.Config{
+		r, err := audit.New(s.c.NW.Host(s.Spec.Host), s.clk, audit.Config{
 			PeerPollInterval: tun.RASPoll,
 		})
 		if err != nil {
@@ -272,7 +278,7 @@ func (s *Server) installSpecs() {
 			// The ticket-granting exchange must bootstrap without
 			// credentials (§3.3); responses are only usable by holders of
 			// the enrolled key.
-			anon := auth.NewVerifier(s.c.Auth.RealmKey(), s.c.Clk)
+			anon := auth.NewVerifier(s.c.Auth.RealmKey(), s.clk)
 			anon.AllowAnonymous = true
 			ep.SetAuthenticator(anon)
 			ep.Register("", &auth.ServiceSkeleton{Svc: s.c.Auth})
@@ -359,7 +365,7 @@ func (s *Server) installSpecs() {
 			v.AllowAnonymous = true
 			ep.SetAuthenticator(v)
 		}
-		sess := core.NewSession(ep, names.RootRefAt(s.nsAddr()), s.c.Clk)
+		sess := core.NewSession(ep, names.RootRefAt(s.nsAddr()), s.clk)
 		b := bootsvc.NewBoot(sess)
 		allHosts := make([]string, len(s.c.Servers))
 		for i, sv := range s.c.Servers {

@@ -11,6 +11,7 @@
 package csc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,7 @@ import (
 
 	"itv/internal/core"
 	"itv/internal/db"
+	"itv/internal/obs"
 	"itv/internal/orb"
 	"itv/internal/oref"
 	"itv/internal/ssc"
@@ -204,9 +206,16 @@ func (c *Controller) reconcile() {
 
 	for _, host := range servers {
 		stub := ssc.Stub{Ep: c.sess.Ep, Ref: ssc.RefAt(host)}
-		running, err := stub.Running()
+		// The liveness ping doubles as a clock-offset measurement: t1/t4
+		// bracket the exchange, the sink captures the peer's HLC from the
+		// response frame (§6.3 pays for the round trip anyway).
+		var sink obs.ClockSink
+		t1 := c.sess.Clk.Now()
+		running, err := stub.RunningCtx(obs.WithClockSink(context.Background(), &sink))
+		t4 := c.sess.Clk.Now()
 		if err == nil {
 			c.sess.Ep.Metrics().Counter("csc_pings_ok").Inc()
+			obs.MeasureOffset(c.sess.Ep.Host(), host, t1, t4, sink.Last())
 		} else {
 			c.sess.Ep.Metrics().Counter("csc_pings_failed").Inc()
 		}

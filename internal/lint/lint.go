@@ -260,6 +260,7 @@ func All() []Check {
 		leakyGo{},
 		metricName{},
 		eventName{},
+		wallTime{},
 	}
 }
 

@@ -79,6 +79,7 @@ func TestGolden(t *testing.T) {
 		{"leakygo", "leakygo"},
 		{"metricname", "metricname"},
 		{"eventname", "eventname"},
+		{"walltime", "walltime"},
 		{"suppress", "sleepyclock"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,26 @@
+package walltime
+
+import (
+	"time"
+
+	"golden/internal/clock"
+	"golden/internal/obs"
+)
+
+func record(rec *obs.Recorder, h *obs.Histogram, clk clock.Clock, start time.Time) {
+	rec.Record(time.Now(), 0, "svc_thing_happened", "")                 // want "time.Now"
+	h.Observe(time.Since(start))                                        // want "time.Since"
+	rec.Record(clk.Now(), 0, "svc_detail_smuggle", time.Now().String()) // want "time.Now"
+
+	// negatives: injected-clock readings and plain durations.
+	rec.Record(clk.Now(), 0, "svc_thing_happened", "")
+	h.Observe(clk.Since(start))
+	h.Observe(3 * time.Millisecond)
+
+	// negative: a nested function literal runs on its own schedule; the
+	// argument walk stops at the literal boundary rather than attribute
+	// its body's reads to this recording call.
+	rec.Record(clk.Now(), 0, "svc_deferred_work", func() string {
+		return time.Now().String()
+	}())
+}

@@ -7,4 +7,5 @@ import "time"
 type Clock interface {
 	Now() time.Time
 	Sleep(d time.Duration)
+	Since(t time.Time) time.Duration
 }

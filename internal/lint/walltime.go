@@ -1,0 +1,71 @@
+package lint
+
+import "go/ast"
+
+// walltime: recording paths must read the injected clock, not the wall
+// clock.
+//
+// Flight-recorder events and histogram observations feed the merged
+// cluster timeline and the health windows.  Every cluster test runs on a
+// fake clock, and the skew harness runs each server on a deliberately
+// offset one; a time.Now() (or time.Since()) inside a recording call
+// silently mixes the host's wall time into that disciplined time, making
+// timestamps that no HLC or offset measurement can explain.  Readings
+// must come from a clock.Clock, which tests and the skew harness control.
+// The obs package itself (which owns the fallback wiring) is exempt.
+type wallTime struct{}
+
+func (wallTime) Name() string { return "walltime" }
+func (wallTime) Doc() string {
+	return "time.Now()/time.Since() feeding Recorder.Record or Histogram.Observe; recording paths must read the injected clock.Clock"
+}
+
+func (wallTime) Run(p *Pass) {
+	obsPath := p.Pkg.ModPath + "/internal/obs"
+	if p.Pkg.Path == obsPath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var site string
+			switch sel.Sel.Name {
+			case "Record":
+				if !isNamed(p.TypeOf(sel.X), obsPath, "Recorder") {
+					return true
+				}
+				site = "Recorder.Record"
+			case "Observe":
+				if !isNamed(p.TypeOf(sel.X), obsPath, "Histogram") {
+					return true
+				}
+				site = "Histogram.Observe"
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				inspectShallow(arg, func(c ast.Node) bool {
+					inner, ok := c.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for _, fn := range []string{"Now", "Since"} {
+						if p.PkgFunc(inner, "time", fn) {
+							p.Reportf(inner.Pos(),
+								"time.%s() feeding %s: recording paths must read the injected clock.Clock so fake and skewed clocks stay honest", fn, site)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -22,13 +23,27 @@ import (
 
 // DefaultEventRing is the per-node ring capacity.  Big enough to hold the
 // full story of a failover plus the steady-state chatter around it; small
-// enough that a ring is never a memory concern.
-const DefaultEventRing = 512
+// enough that a ring is never a memory concern.  Overridable per run via
+// the ITV_FLIGHT_RING environment variable (read once at startup) or per
+// recorder via NewRecorder's size argument.
+var DefaultEventRing = ringSizeFromEnv(256)
+
+// ringSizeFromEnv reads ITV_FLIGHT_RING, falling back to def when unset or
+// unparsable.
+func ringSizeFromEnv(def int) int {
+	if v := os.Getenv("ITV_FLIGHT_RING"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 // Event is one recorded decision.
 type Event struct {
 	Seq    uint64    // per-node sequence, 1-based, assigned at record time
 	Time   time.Time // injected-clock time of the decision
+	HLC    HLCTime   // hybrid-logical-clock reading, stamped at record time
 	Node   string    // host identity of the recording node
 	Trace  uint64    // causal trace id; 0 = not part of a sampled trace
 	Name   string    // subsystem_event
@@ -50,6 +65,7 @@ func (e Event) String() string {
 // it happens at failure-handling decision sites, never on the RPC hot path.
 type Recorder struct {
 	node string
+	hlc  *HLC
 
 	mu   sync.Mutex
 	buf  []Event // ring storage; grows to capacity, then wraps
@@ -63,15 +79,18 @@ func NewRecorder(node string, size int) *Recorder {
 	if size <= 0 {
 		size = DefaultEventRing
 	}
-	return &Recorder{node: node, buf: make([]Event, 0, size)}
+	return &Recorder{node: node, hlc: NodeHLC(node), buf: make([]Event, 0, size)}
 }
 
 // Record appends one event.  t is the injected clock's now — passed in by
-// the caller because obs must not depend on any particular clock.
+// the caller because obs must not depend on any particular clock.  The
+// node's hybrid logical clock is ticked with t, so the event carries both
+// the raw local reading (Time) and the causally-comparable one (HLC).
 func (r *Recorder) Record(t time.Time, trace uint64, name, detail string) {
+	h := r.hlc.Tick(t)
 	r.mu.Lock()
 	r.seq++
-	e := Event{Seq: r.seq, Time: t, Node: r.node, Trace: trace, Name: name, Detail: detail}
+	e := Event{Seq: r.seq, Time: t, HLC: h, Node: r.node, Trace: trace, Name: name, Detail: detail}
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
 	} else {
@@ -151,6 +170,59 @@ func MergeEvents(lists ...[]Event) []Event {
 	return out
 }
 
+// MergeEventsHLC merges per-node event lists into one timeline ordered by
+// hybrid logical clock, then wall time, node and per-node sequence as
+// tie-breakers.  Unlike MergeEvents this order is correct under clock skew:
+// whenever causality crossed nodes through an RPC, the receiver's HLC is
+// strictly above the sender's, whatever their wall clocks said.  Events
+// recorded before the HLC layer existed (HLC zero) sort by wall time among
+// themselves, first.
+func MergeEventsHLC(lists ...[]Event) []Event {
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]Event, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].HLC != out[j].HLC {
+			return out[i].HLC < out[j].HLC
+		}
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Ambiguous reports whether the HLC ordering of two events from different
+// nodes is within the measured clock uncertainty unc between those nodes —
+// i.e. the merge printed them in *an* order, but the measurements cannot
+// rule out the opposite one.  Same-node pairs are ordered by construction;
+// pairs on the same sampled trace are taken as causally coupled (their
+// HLCs met through the RPCs that carried the trace).  What remains are
+// concurrent cross-node events, and those are ambiguous whenever their
+// physical readings are closer together than the error bound.
+func Ambiguous(a, b Event, unc time.Duration) bool {
+	if a.Node == b.Node || a.HLC == 0 || b.HLC == 0 {
+		return false
+	}
+	if a.Trace != 0 && a.Trace == b.Trace {
+		return false
+	}
+	d := b.HLC.Physical().Sub(a.HLC.Physical())
+	if d < 0 {
+		d = -d
+	}
+	return d <= unc
+}
+
 // FilterTrace keeps only the events of one causal trace.
 func FilterTrace(events []Event, trace uint64) []Event {
 	out := make([]Event, 0, len(events))
@@ -170,6 +242,22 @@ func WriteEvents(w io.Writer, events []Event) {
 	}
 }
 
+// WriteEventsHLC writes an HLC-merged timeline, one event per line with the
+// HLC reading prepended, and marks events whose order relative to the
+// previous line is ambiguous ("?~"): different nodes, no shared trace, and
+// physical clocks within unc of each other.  Ambiguity is flagged rather
+// than silently linearized — the printed order is the HLC's best effort,
+// the marker says these clocks cannot prove it.
+func WriteEventsHLC(w io.Writer, events []Event, unc time.Duration) {
+	for i, e := range events {
+		mark := "  "
+		if i > 0 && Ambiguous(events[i-1], e, unc) {
+			mark = "?~"
+		}
+		fmt.Fprintf(w, "%s %-18s %s\n", mark, e.HLC, e.String())
+	}
+}
+
 // WriteAllEvents writes the merged timeline of every node's ring.
 func WriteAllEvents(w io.Writer) {
 	lists := make([][]Event, 0, 8)
@@ -182,12 +270,35 @@ func WriteAllEvents(w io.Writer) {
 // DumpEventsOnFailure writes the merged cluster timeline to w when the
 // ITV_FLIGHT_DUMP environment variable is set — called from TestMain on a
 // failing run so CI logs carry the failover timeline for flaky-test triage.
+// A value of "1" dumps to w only; any other value is additionally treated
+// as a file path that receives a copy, which CI uploads as a workflow
+// artifact.  Both forms carry the wall-merged timeline and the HLC-merged
+// one: under skewed clocks they disagree, and the disagreement is evidence.
 // It reports whether a dump was written.
 func DumpEventsOnFailure(w io.Writer) bool {
-	if os.Getenv("ITV_FLIGHT_DUMP") == "" {
+	dst := os.Getenv("ITV_FLIGHT_DUMP")
+	if dst == "" {
 		return false
 	}
-	fmt.Fprintln(w, "=== flight recorder (ITV_FLIGHT_DUMP) ===")
-	WriteAllEvents(w)
+	dump := func(w io.Writer) {
+		fmt.Fprintln(w, "=== flight recorder (ITV_FLIGHT_DUMP) ===")
+		WriteAllEvents(w)
+		fmt.Fprintln(w, "=== flight recorder, HLC order ===")
+		lists := make([][]Event, 0, 8)
+		for _, h := range RecorderHosts() {
+			lists = append(lists, NodeRecorder(h).Events())
+		}
+		WriteEventsHLC(w, MergeEventsHLC(lists...), 2*time.Millisecond)
+	}
+	dump(w)
+	if dst != "1" {
+		f, err := os.Create(dst)
+		if err != nil {
+			fmt.Fprintf(w, "flight dump file: %v\n", err)
+			return true
+		}
+		dump(f)
+		f.Close()
+	}
 	return true
 }

@@ -14,10 +14,11 @@ const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // DebugHandler builds the opt-in debug surface: /metrics (sorted text
 // snapshot via metrics, also mounted at /debug/metrics), /debug/events (the
-// flight-recorder timeline via events, may be nil), /healthz, and the pprof
+// flight-recorder timeline via events, may be nil), /debug/health (the
+// windowed RED dashboard via health, may be nil), /healthz, and the pprof
 // family under /debug/pprof/.  The handler is mounted on its own mux so
 // nothing leaks into http.DefaultServeMux.
-func DebugHandler(metrics, events func(w io.Writer)) http.Handler {
+func DebugHandler(metrics, events, health func(w io.Writer)) http.Handler {
 	mux := http.NewServeMux()
 	serveMetrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", MetricsContentType)
@@ -29,6 +30,12 @@ func DebugHandler(metrics, events func(w io.Writer)) http.Handler {
 		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			events(w)
+		})
+	}
+	if health != nil {
+		mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			health(w)
 		})
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -46,12 +53,12 @@ func DebugHandler(metrics, events func(w io.Writer)) http.Handler {
 // ServeDebug listens on addr and serves the debug surface until the process
 // exits.  It returns the bound address (useful with ":0") or an error if
 // the listen fails; serving itself runs on a background goroutine.
-func ServeDebug(addr string, metrics, events func(w io.Writer)) (string, error) {
+func ServeDebug(addr string, metrics, events, health func(w io.Writer)) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugHandler(metrics, events)}
+	srv := &http.Server{Handler: DebugHandler(metrics, events, health)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

@@ -107,11 +107,31 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
-// bucket containing it; observations beyond the last bound report the last
-// bound.  Good enough for operator eyeballs, not for SLO math.
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket containing it; observations beyond the last bound
+// report the last bound.  Good enough for operator eyeballs, not for SLO
+// math.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return QuantileFromBuckets(h.bounds, counts, q)
+}
+
+// QuantileFromBuckets estimates a quantile from raw bucket data: bounds are
+// the ascending finite upper bounds, counts the per-bucket (non-cumulative)
+// observation counts with one extra trailing +Inf bucket.  Shared by live
+// histograms, the itv-admin metrics summary and the health dashboard, all
+// of which see the same bucket shape through different transports.
+func QuantileFromBuckets(bounds []time.Duration, counts []int64, q float64) time.Duration {
+	if len(bounds) == 0 {
+		return 0
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
 	if n == 0 {
 		return 0
 	}
@@ -120,16 +140,23 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		rank = 1
 	}
 	var cum int64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			if i < len(h.bounds) {
-				return h.bounds[i]
+	for i, c := range counts {
+		if c > 0 && cum+c >= rank {
+			if i >= len(bounds) {
+				// The +Inf bucket has no upper bound to interpolate
+				// toward; report the last finite bound.
+				break
 			}
-			return h.bounds[len(h.bounds)-1]
+			var lo time.Duration
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + time.Duration(frac*float64(bounds[i]-lo))
 		}
+		cum += c
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // L builds a labeled metric name: L("x", "k", "v") -> `x{k=v}`.  Pairs are
@@ -163,10 +190,21 @@ func insertLabel(name, k, v string) string {
 	return name + "{" + k + "=" + v + "}"
 }
 
+// SampleKind classifies a snapshot row for windowed health sampling:
+// accumulating rows (counters, histogram buckets and sums) are meaningful
+// as deltas between snapshots; level rows (gauges) are meaningful as-is.
+type SampleKind uint8
+
+const (
+	KindCounter SampleKind = iota // accumulates; diff across windows
+	KindGauge                     // instantaneous level
+)
+
 // Sample is one row of a registry snapshot.
 type Sample struct {
 	Name  string
 	Value float64
+	Kind  SampleKind
 }
 
 // Registry holds one node's metrics by name.  Lookups are get-or-create;
@@ -269,20 +307,20 @@ func (r *Registry) Snapshot() []Sample {
 	for _, n := range names {
 		switch {
 		case r.counts[n] != nil:
-			out = append(out, Sample{n, float64(r.counts[n].Value())})
+			out = append(out, Sample{n, float64(r.counts[n].Value()), KindCounter})
 		case r.gauges[n] != nil:
-			out = append(out, Sample{n, float64(r.gauges[n].Value())})
+			out = append(out, Sample{n, float64(r.gauges[n].Value()), KindGauge})
 		default:
 			h := r.hists[n]
 			var cum int64
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				out = append(out, Sample{insertLabel(n, "le", b.String()), float64(cum)})
+				out = append(out, Sample{insertLabel(n, "le", b.String()), float64(cum), KindCounter})
 			}
 			cum += h.counts[len(h.bounds)].Load()
-			out = append(out, Sample{insertLabel(n, "le", "+Inf"), float64(cum)})
-			out = append(out, Sample{n + "_count", float64(h.Count())})
-			out = append(out, Sample{n + "_sum_ms", float64(h.Sum()) / float64(time.Millisecond)})
+			out = append(out, Sample{insertLabel(n, "le", "+Inf"), float64(cum), KindCounter})
+			out = append(out, Sample{n + "_count", float64(h.Count()), KindCounter})
+			out = append(out, Sample{n + "_sum_ms", float64(h.Sum()) / float64(time.Millisecond), KindCounter})
 		}
 	}
 	r.mu.RUnlock()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -191,7 +193,7 @@ func TestDebugServer(t *testing.T) {
 	rec.Record(time.Unix(5, 0), 0xabc, "test_event", "hello")
 	addr, err := ServeDebug("127.0.0.1:0", r.WriteText, func(w io.Writer) {
 		WriteEvents(w, rec.Events())
-	})
+	}, WriteAllHealth)
 	if err != nil {
 		t.Fatalf("ServeDebug: %v", err)
 	}
@@ -303,6 +305,28 @@ func TestDumpEventsOnFailure(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "dump_probe") || !strings.Contains(b.String(), "dump-node") {
 		t.Fatalf("dump missing recorded event:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "HLC order") {
+		t.Fatalf("dump missing HLC-ordered section:\n%s", b.String())
+	}
+
+	// Any value other than "1" is a file path: the dump lands there too,
+	// where CI picks it up as a workflow artifact.
+	path := filepath.Join(t.TempDir(), "flight-dump.txt")
+	t.Setenv("ITV_FLIGHT_DUMP", path)
+	var b2 strings.Builder
+	if !DumpEventsOnFailure(&b2) {
+		t.Fatal("file-path dump reported nothing written")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("dump file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "dump_probe") {
+		t.Fatalf("dump file missing recorded event:\n%s", data)
+	}
+	if !strings.Contains(b2.String(), "dump_probe") {
+		t.Fatalf("file-path dump must still write the log copy:\n%s", b2.String())
 	}
 }
 

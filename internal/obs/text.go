@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text-side metric analysis: itv-admin scrapes nodes as "name value" lines
+// (the _metrics RPC returns Registry.WriteText output), and the health
+// dashboard diffs window samples — both need to reassemble histograms from
+// their expanded le= rows to extract quantiles.  This file is that
+// reassembly; QuantileFromBuckets does the math.
+
+// ParseText parses Registry.WriteText output back into samples.  Lines that
+// do not parse (headers, blanks) are skipped.  Kinds are not recoverable
+// from text; rows come back as KindCounter, which is what histogram
+// reassembly needs.
+func ParseText(text string) []Sample {
+	var out []Sample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Sample{Name: line[:i], Value: v, Kind: KindCounter})
+	}
+	return out
+}
+
+// HistSummary is the quantile view of one reassembled histogram family.
+type HistSummary struct {
+	Name          string // family name with the le label removed
+	Count         int64
+	P50, P95, P99 time.Duration
+}
+
+// splitLE splits a histogram bucket row name into its family name (with
+// the le pair removed) and the le bound text.  ok is false for rows that
+// carry no le label.
+func splitLE(name string) (family, le string, ok bool) {
+	i := strings.Index(name, "{")
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return "", "", false
+	}
+	labels := strings.Split(name[i+1:len(name)-1], ",")
+	kept := labels[:0]
+	for _, l := range labels {
+		if v, found := strings.CutPrefix(l, "le="); found {
+			le = v
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if le == "" {
+		return "", "", false
+	}
+	if len(kept) == 0 {
+		return name[:i], le, true
+	}
+	return name[:i] + "{" + strings.Join(kept, ",") + "}", le, true
+}
+
+// SummarizeHistograms reassembles every histogram family present in the
+// samples (rows whose names carry an le= label, cumulative as written by
+// Snapshot) and returns per-family quantile summaries, sorted by name.
+// It works equally on absolute snapshots and on window deltas.
+func SummarizeHistograms(samples []Sample) []HistSummary {
+	type bucket struct {
+		bound time.Duration
+		inf   bool
+		cum   float64
+	}
+	families := make(map[string][]bucket)
+	for _, s := range samples {
+		family, le, ok := splitLE(s.Name)
+		if !ok {
+			continue
+		}
+		b := bucket{cum: s.Value}
+		if le == "+Inf" {
+			b.inf = true
+		} else {
+			d, err := time.ParseDuration(le)
+			if err != nil {
+				continue
+			}
+			b.bound = d
+		}
+		families[family] = append(families[family], b)
+	}
+
+	out := make([]HistSummary, 0, len(families))
+	for name, bs := range families {
+		sort.Slice(bs, func(i, j int) bool {
+			if bs[i].inf != bs[j].inf {
+				return !bs[i].inf // +Inf sorts last
+			}
+			return bs[i].bound < bs[j].bound
+		})
+		bounds := make([]time.Duration, 0, len(bs))
+		counts := make([]int64, 0, len(bs))
+		var prev float64
+		for _, b := range bs {
+			if !b.inf {
+				bounds = append(bounds, b.bound)
+			}
+			counts = append(counts, int64(b.cum-prev))
+			prev = b.cum
+		}
+		sum := HistSummary{Name: name, Count: int64(prev)}
+		if sum.Count > 0 {
+			sum.P50 = QuantileFromBuckets(bounds, counts, 0.50)
+			sum.P95 = QuantileFromBuckets(bounds, counts, 0.95)
+			sum.P99 = QuantileFromBuckets(bounds, counts, 0.99)
+		}
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -99,6 +99,7 @@ func SpanFrom(ctx context.Context) Span {
 // different processes started in the same nanosecond still diverge quickly.
 var spanIDState atomic.Uint64
 
+//lint:ignore sleepyclock the wall clock is an entropy source here, not a timestamp; ids must diverge across processes before any clock is injected
 func init() { spanIDState.Store(uint64(time.Now().UnixNano())) }
 
 // NewSpanID returns a process-unique nonzero 64-bit id.

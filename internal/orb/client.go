@@ -300,9 +300,13 @@ func (e *Endpoint) InvokeCtx(ctx context.Context, ref oref.Ref, method string, p
 	start := time.Now()
 	err := e.invoke(ctx, ref, method, put, get)
 	d := time.Since(start)
-	m.latencyFor(ref.TypeID, method).Observe(d)
-	if err != nil && Dead(err) {
-		m.clientFailures.Inc()
+	ms := m.methodFor(ref.TypeID, method)
+	ms.lat.Observe(d)
+	if err != nil {
+		ms.errs.Inc()
+		if Dead(err) {
+			m.clientFailures.Inc()
+		}
 	}
 	if t != nil {
 		t.CallEnd(c, outcomeOf(err), d)
@@ -348,6 +352,10 @@ func (e *Endpoint) invoke(ctx context.Context, ref oref.Ref, method string, put 
 		req.ParentSpanID = sp.SpanID
 		req.Sampled = true
 	}
+	// Every request carries the sender's HLC (sampled or not): clock
+	// coupling must not depend on trace sampling.  Atomics only — the
+	// unsampled hot path stays allocation-free.
+	req.HLC = uint64(e.hlc.Now())
 	if a := e.authenticator(); a != nil {
 		se := wire.GetEncoder()
 		req.appendSigPayload(se)
@@ -396,6 +404,15 @@ func (e *Endpoint) invoke(ctx context.Context, ref oref.Ref, method string, put 
 			sink.Set(rf.resp.TraceID)
 		}
 	}
+	// Couple to the server's clock and hand the raw reading to any caller
+	// measuring this peer's offset.
+	if rf.resp.HLC != 0 {
+		h := obs.HLCTime(rf.resp.HLC)
+		e.hlc.Observe(h)
+		if cs := obs.ClockSinkFrom(ctx); cs != nil {
+			cs.Set(h)
+		}
+	}
 	putRespFrame(rf)
 	return err
 }
@@ -413,6 +430,9 @@ func (e *Endpoint) invokeLocal(ctx context.Context, ref oref.Ref, method string,
 	}
 	if method == "_events" {
 		return e.eventsResult(get)
+	}
+	if method == "_health" {
+		return e.healthResult(put, get)
 	}
 	if !ok || (ref.Incarnation != e.incarnation && ref.Incarnation != oref.AnyIncarnation) {
 		return ErrInvalidReference

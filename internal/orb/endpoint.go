@@ -135,6 +135,7 @@ type Endpoint struct {
 	wireVer     atomic.Uint64
 	metrics     *epMetrics
 	recorder    *obs.Recorder
+	hlc         *obs.HLC
 
 	mu      sync.Mutex
 	objects map[string]Skeleton
@@ -180,6 +181,7 @@ func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint
 		incarnation: incarnationCounter.Add(1),
 		metrics:     newEpMetrics(tr.Host()),
 		recorder:    obs.NodeRecorder(tr.Host()),
+		hlc:         obs.NodeHLC(tr.Host()),
 		objects:     make(map[string]Skeleton),
 		conns:       make(map[string]*clientConn),
 		dialing:     make(map[string]*dialWait),
@@ -451,6 +453,9 @@ func (srv *connServer) worker() {
 // the given scratch for dispatch and encoding.
 func (srv *connServer) handleOne(sr *serverReq, s *callScratch) {
 	srv.e.handleInto(&sr.req, srv.remote, s)
+	// Stamp the reply with this node's HLC — one site covers every response
+	// path, so the caller's clock couples to ours on every round trip.
+	s.resp.HLC = uint64(srv.e.hlc.Now())
 	s.wenc.Reset()
 	err := wire.AppendFrame(&s.wenc, &s.resp)
 	if err == nil {
@@ -483,6 +488,12 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 		s.results.PutUint(accepted)
 		resp.Body = s.results.Bytes()
 		return
+	}
+
+	// Couple our HLC to the sender's.  Only after the version gate: a
+	// mismatched request's HLC field was never decoded.
+	if req.HLC != 0 {
+		e.hlc.Observe(obs.HLCTime(req.HLC))
 	}
 
 	caller := Caller{Addr: remoteAddr}
@@ -528,6 +539,23 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	if req.Method == "_events" {
 		s.results.Reset()
 		appendEvents(&s.results, e.recorder.Events())
+		resp.Status = statusOK
+		resp.Body = s.results.Bytes()
+		return
+	}
+
+	// Built-in health scrape: the rolling metric windows, clock state and
+	// measured peer offsets — again a node property answered before
+	// reference validation (the watch dashboard inspects nodes it holds no
+	// reference to).  An optional uint in the body bounds the window count.
+	if req.Method == "_health" {
+		maxWindows := 0
+		s.args.Reset(req.Body)
+		if n := s.args.Uint(); s.args.Err() == nil {
+			maxWindows = int(n)
+		}
+		s.results.Reset()
+		appendHealth(&s.results, e.healthReport(maxWindows))
 		resp.Status = statusOK
 		resp.Body = s.results.Bytes()
 		return

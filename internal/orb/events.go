@@ -19,6 +19,7 @@ func appendEvents(e *wire.Encoder, events []obs.Event) {
 	for _, ev := range events {
 		e.PutUint(ev.Seq)
 		e.PutInt(ev.Time.UnixNano())
+		e.PutUint(uint64(ev.HLC))
 		e.PutString(ev.Node)
 		e.PutUint(ev.Trace)
 		e.PutString(ev.Name)
@@ -33,6 +34,7 @@ func decodeEvents(d *wire.Decoder) []obs.Event {
 		var ev obs.Event
 		ev.Seq = d.Uint()
 		ev.Time = time.Unix(0, d.Int())
+		ev.HLC = obs.HLCTime(d.Uint())
 		ev.Node = d.String()
 		ev.Trace = d.Uint()
 		ev.Name = d.String()

@@ -1,0 +1,139 @@
+package orb
+
+import (
+	"time"
+
+	"itv/internal/obs"
+	"itv/internal/oref"
+	"itv/internal/wire"
+)
+
+// Wire form of the health scrape (the built-in _health call): the node's
+// identity and clock state, its measured peer offsets, and its recent
+// metric windows.  The request body carries one optional uint bounding how
+// many windows to return (0 = all).  Like _metrics and _events this is a
+// node property served before reference validation.
+
+func appendHealth(e *wire.Encoder, r *obs.HealthReport) {
+	e.PutString(r.Node)
+	e.PutInt(r.Now.UnixNano())
+	e.PutUint(uint64(r.HLC))
+	e.PutUint(uint64(len(r.Offsets)))
+	for _, o := range r.Offsets {
+		e.PutString(o.Peer)
+		e.PutInt(int64(o.Offset))
+		e.PutInt(int64(o.Uncertainty))
+		e.PutInt(o.At.UnixNano())
+	}
+	e.PutUint(uint64(len(r.Windows)))
+	for _, w := range r.Windows {
+		e.PutInt(w.Start.UnixNano())
+		e.PutInt(w.End.UnixNano())
+		e.PutUint(uint64(w.HLC))
+		e.PutInt(w.Goroutines)
+		e.PutInt(w.HeapBytes)
+		e.PutInt(w.GCPauseNs)
+		e.PutInt(w.NumGC)
+		e.PutUint(uint64(len(w.Samples)))
+		for _, s := range w.Samples {
+			e.PutString(s.Name)
+			e.PutUint(uint64(s.Kind))
+			e.PutFloat(s.Value)
+		}
+	}
+}
+
+func decodeHealth(d *wire.Decoder) *obs.HealthReport {
+	r := &obs.HealthReport{}
+	r.Node = d.String()
+	r.Now = time.Unix(0, d.Int())
+	r.HLC = obs.HLCTime(d.Uint())
+	no := d.Count()
+	for i := 0; i < no && d.Err() == nil; i++ {
+		var o obs.OffsetSample
+		o.Peer = d.String()
+		o.Offset = time.Duration(d.Int())
+		o.Uncertainty = time.Duration(d.Int())
+		o.At = time.Unix(0, d.Int())
+		r.Offsets = append(r.Offsets, o)
+	}
+	nw := d.Count()
+	for i := 0; i < nw && d.Err() == nil; i++ {
+		var w obs.HealthWindow
+		w.Start = time.Unix(0, d.Int())
+		w.End = time.Unix(0, d.Int())
+		w.HLC = obs.HLCTime(d.Uint())
+		w.Goroutines = d.Int()
+		w.HeapBytes = d.Int()
+		w.GCPauseNs = d.Int()
+		w.NumGC = d.Int()
+		ns := d.Count()
+		for j := 0; j < ns && d.Err() == nil; j++ {
+			var s obs.Sample
+			s.Name = d.String()
+			s.Kind = obs.SampleKind(d.Uint())
+			s.Value = d.Float()
+			w.Samples = append(w.Samples, s)
+		}
+		if d.Err() != nil {
+			break
+		}
+		r.Windows = append(r.Windows, w)
+	}
+	return r
+}
+
+// healthReport assembles this endpoint's node report; the node's own idea
+// of "now" is its HLC physical reading, so nodes on injected clocks report
+// simulated time.
+func (e *Endpoint) healthReport(maxWindows int) *obs.HealthReport {
+	h := obs.NodeHealth(e.tr.Host())
+	return h.Report(e.hlc.Current().Physical(), maxWindows)
+}
+
+// healthResult serves the local short-circuit path of _health.
+func (e *Endpoint) healthResult(put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if get == nil {
+		return nil
+	}
+	maxWindows := 0
+	if put != nil {
+		pe := wire.GetEncoder()
+		put(pe)
+		pd := wire.NewDecoder(pe.Bytes())
+		if n := pd.Uint(); pd.Err() == nil {
+			maxWindows = int(n)
+		}
+		wire.PutEncoder(pe)
+	}
+	enc := wire.NewEncoder(1024)
+	appendHealth(enc, e.healthReport(maxWindows))
+	d := wire.NewDecoder(enc.Bytes())
+	if err := get(d); err != nil {
+		return err
+	}
+	if d.Err() != nil {
+		return Errf(ExcBadArgs, "result decode: %v", d.Err())
+	}
+	return nil
+}
+
+// HealthOf scrapes the rolling health windows of the endpoint at addr using
+// the built-in _health method (maxWindows <= 0 returns all).  Like
+// MetricsOf it works against any live endpoint regardless of incarnation or
+// object ids; itv-admin's watch dashboard fans it out across the cluster.
+func (e *Endpoint) HealthOf(addr string, maxWindows int) (*obs.HealthReport, error) {
+	ref := oref.Ref{Addr: addr, Incarnation: oref.AnyIncarnation, TypeID: "itv.Node"}
+	var out *obs.HealthReport
+	err := e.Invoke(ref, "_health",
+		func(enc *wire.Encoder) {
+			if maxWindows > 0 {
+				enc.PutUint(uint64(maxWindows))
+			}
+		},
+		func(d *wire.Decoder) error {
+			out = decodeHealth(d)
+			return nil
+		})
+	return out, err
+}

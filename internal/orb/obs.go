@@ -32,16 +32,23 @@ type epMetrics struct {
 	invalidRefs *obs.Counter
 	inflight    *obs.Gauge
 
-	// latency caches the per-method histogram under a plain RWMutex-guarded
+	// latency caches the per-method stats under a plain RWMutex-guarded
 	// map: a read-locked lookup with a struct key costs no allocation,
 	// where a sync.Map.Load boxed the key into an interface on every call —
 	// per-call garbage on the Invoke hot path.  The name concatenation
 	// happens only on the first call per method.
 	latMu   sync.RWMutex
-	latency map[methodKey]*obs.Histogram
+	latency map[methodKey]*methodStats
 }
 
 type methodKey struct{ typeID, method string }
+
+// methodStats is the cached per-method instrumentation: the latency
+// histogram plus the error counter the RED dashboard rates against it.
+type methodStats struct {
+	lat  *obs.Histogram
+	errs *obs.Counter
+}
 
 func newEpMetrics(host string) *epMetrics {
 	r := obs.Node(host)
@@ -65,33 +72,36 @@ func newEpMetrics(host string) *epMetrics {
 	}
 }
 
-// latencyFor returns the per-method latency histogram, creating and caching
-// it on first use.  The fast path is a read-locked map hit with zero
-// allocations.
-func (m *epMetrics) latencyFor(typeID, method string) *obs.Histogram {
+// methodFor returns the per-method stats, creating and caching them on
+// first use.  The fast path is a read-locked map hit with zero allocations.
+func (m *epMetrics) methodFor(typeID, method string) *methodStats {
 	k := methodKey{typeID, method}
 	m.latMu.RLock()
-	h := m.latency[k]
+	ms := m.latency[k]
 	m.latMu.RUnlock()
-	if h != nil {
-		return h
+	if ms != nil {
+		return ms
 	}
 	name := typeID
 	if name == "" {
 		name = "?"
 	}
-	h = m.reg.Histogram(obs.L("orb_call_latency", "method", name+"."+method))
+	full := name + "." + method
+	ms = &methodStats{
+		lat:  m.reg.Histogram(obs.L("orb_call_latency", "method", full)),
+		errs: m.reg.Counter(obs.L("orb_call_errors", "method", full)),
+	}
 	m.latMu.Lock()
 	if existing, ok := m.latency[k]; ok {
-		h = existing
+		ms = existing
 	} else {
 		if m.latency == nil {
-			m.latency = make(map[methodKey]*obs.Histogram)
+			m.latency = make(map[methodKey]*methodStats)
 		}
-		m.latency[k] = h
+		m.latency[k] = ms
 	}
 	m.latMu.Unlock()
-	return h
+	return ms
 }
 
 // outcomeOf classifies an invocation result for traces and counters.

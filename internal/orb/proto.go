@@ -8,9 +8,11 @@ import (
 // Version field itself plus the trace-propagation fields (TraceID,
 // ParentSpanID, Sampled) and the response's adopted TraceID; see DESIGN.md
 // §10 for the negotiation rules.  v1 frames had no version field at all, so
-// v1↔v2 was a flag-day break; from v2 on, a mismatch yields a clean
-// statusBadVersion reply instead of a dropped connection.
-const wireVersion = 2
+// v1↔v2 was a flag-day break; from v2 on, a request mismatch yields a clean
+// statusBadVersion reply instead of a dropped connection.  v3 added the
+// hybrid-logical-clock field to both records (DESIGN.md §11) so every RPC
+// couples the two nodes' HLCs in both directions.
+const wireVersion = 3
 
 // Wire status codes for responses.
 const (
@@ -29,9 +31,9 @@ const (
 // frame buffer is reused.  Both endpoint read loops hand the frame buffer's
 // ownership along with the request and release the two together.
 //
-// The trace fields ride at the end and are excluded from the signature
-// payload: they are observability routing, not invocation identity, and a
-// relay must be able to re-stamp them without re-signing.
+// The trace and clock fields ride at the end and are excluded from the
+// signature payload: they are observability routing, not invocation
+// identity, and a relay must be able to re-stamp them without re-signing.
 type request struct {
 	ReqID        uint64
 	Version      uint64
@@ -45,6 +47,7 @@ type request struct {
 	TraceID      uint64
 	ParentSpanID uint64
 	Sampled      bool
+	HLC          uint64 // sender's hybrid-logical-clock reading (obs.HLCTime)
 }
 
 func (r *request) MarshalWire(e *wire.Encoder) {
@@ -60,6 +63,7 @@ func (r *request) MarshalWire(e *wire.Encoder) {
 	e.PutUint(r.TraceID)
 	e.PutUint(r.ParentSpanID)
 	e.PutBool(r.Sampled)
+	e.PutUint(r.HLC)
 }
 
 // UnmarshalWire decodes the envelope (ReqID, Version) and, only when the
@@ -83,6 +87,7 @@ func (r *request) UnmarshalWire(d *wire.Decoder) {
 	r.TraceID = d.Uint()
 	r.ParentSpanID = d.Uint()
 	r.Sampled = d.Bool()
+	r.HLC = d.Uint()
 }
 
 // reset clears a pooled request for reuse, dropping references into any
@@ -117,6 +122,12 @@ func (r *request) SigPayload() []byte {
 // serving this call (e.g. a bind that consumed an audit tombstone); the
 // client deposits it into the caller's TraceSink so asynchronous recovery
 // paths can join the trace of the failure they are recovering from.
+//
+// HLC is the server's hybrid-logical-clock reading at reply time; the
+// client observes it into its own HLC and deposits it into the caller's
+// ClockSink.  Responses carry no version field — their layout is tied to
+// the build, as it was when TraceID was added — so HLC rides on every
+// reply, including statusBadVersion refusals.
 type response struct {
 	ReqID   uint64
 	Status  uint64
@@ -124,6 +135,7 @@ type response struct {
 	ErrMsg  string
 	Body    []byte
 	TraceID uint64
+	HLC     uint64
 }
 
 func (r *response) MarshalWire(e *wire.Encoder) {
@@ -133,6 +145,7 @@ func (r *response) MarshalWire(e *wire.Encoder) {
 	e.PutString(r.ErrMsg)
 	e.PutBytes(r.Body)
 	e.PutUint(r.TraceID)
+	e.PutUint(r.HLC)
 }
 
 func (r *response) UnmarshalWire(d *wire.Decoder) {
@@ -142,6 +155,7 @@ func (r *response) UnmarshalWire(d *wire.Decoder) {
 	r.ErrMsg = d.String()
 	r.Body = d.BytesView()
 	r.TraceID = d.Uint()
+	r.HLC = d.Uint()
 }
 
 // reset clears a pooled response for reuse.

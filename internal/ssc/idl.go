@@ -54,6 +54,21 @@ type Invoker interface {
 	Ping(ref oref.Ref) error
 }
 
+// CtxInvoker is the context-propagating invoker; orb.Endpoint implements
+// it.  Stub methods taking a context use it when available and fall back
+// to plain Invoke otherwise, so test fakes satisfying only Invoker keep
+// working.
+type CtxInvoker interface {
+	InvokeCtx(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error
+}
+
+func invokeCtx(ep Invoker, ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if ci, ok := ep.(CtxInvoker); ok {
+		return ci.InvokeCtx(ctx, ref, method, put, get)
+	}
+	return ep.Invoke(ref, method, put, get)
+}
+
 // NotifyReady reports a process's exported objects.
 func (s Stub) NotifyReady(pid int, refs []oref.Ref) error {
 	return s.Ep.Invoke(s.Ref, "notifyReady",
@@ -90,8 +105,15 @@ func (s Stub) Kill(name string) error {
 // Running lists the services the remote SSC is running; the CSC uses it to
 // rediscover cluster state after a fail-over (§6.2).
 func (s Stub) Running() ([]string, error) {
+	return s.RunningCtx(context.Background())
+}
+
+// RunningCtx is Running with a caller-supplied context, so the CSC's ping
+// loop can attach an obs.ClockSink and measure the peer's clock offset from
+// the same exchange it uses for liveness.
+func (s Stub) RunningCtx(ctx context.Context) ([]string, error) {
 	var out []string
-	err := s.Ep.Invoke(s.Ref, "running", nil,
+	err := invokeCtx(s.Ep, ctx, s.Ref, "running", nil,
 		func(d *wire.Decoder) error { out = d.Strings(); return nil })
 	return out, err
 }

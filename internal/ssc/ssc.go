@@ -88,6 +88,11 @@ func New(tr transport.Transport, clk clock.Clock) (*Controller, error) {
 		objects:      make(map[int][]oref.Ref),
 		RestartDelay: time.Second,
 	}
+	// The SSC is the first thing up on a server (§6.3), so it anchors the
+	// node's time discipline: the shared HLC reads this server's clock, and
+	// the health sampler starts rolling its metric windows.
+	obs.NodeHLC(tr.Host()).SetNow(clk.Now)
+	obs.NodeHealth(tr.Host()).Start(clk, obs.DefaultHealthInterval)
 	ep.Register("", &skel{c: c})
 	return c, nil
 }
@@ -322,6 +327,7 @@ func (c *Controller) Crash() {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	obs.NodeHealth(c.tr.Host()).Stop()
 	c.tbl.KillAll()
 	c.ep.Close()
 }
