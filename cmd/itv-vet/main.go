@@ -1,8 +1,9 @@
-// Command itv-vet runs the project's static-analysis suite: six checks
+// Command itv-vet runs the project's static-analysis suite: eleven checks
 // that enforce the OCS concurrency and failure-handling invariants
 // (mortal references, no mutex across RPC, injected clocks, stoppable
-// goroutines, errors.Is, metric naming).  See internal/lint and the
-// "Static invariants" section of DESIGN.md.
+// goroutines, errors.Is, metric naming, pooled-buffer ownership, context
+// propagation, lock ordering).  See internal/lint and the "Static
+// invariants" section of DESIGN.md.
 //
 // Usage:
 //
@@ -11,6 +12,8 @@
 //	itv-vet ./...                 # whole module (the CI gate)
 //	itv-vet -json ./... > vet.json
 //	itv-vet -checks rawerrcmp -fix ./...
+//	itv-vet -since origin/main ./...   # findings only in changed files
+//	itv-vet -annotate ./...            # GitHub ::error annotations
 //	itv-vet -list
 //
 // Exit status: 0 clean, 1 findings, 2 operational failure (bad
@@ -22,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 
 	"itv/internal/lint"
 )
@@ -37,6 +43,8 @@ func run() int {
 		list     = flag.Bool("list", false, "list registered checks and exit")
 		checks   = flag.String("checks", "", "comma-separated checks to run (default: all)")
 		typeErrs = flag.Bool("typeerrors", false, "print tolerated type-check errors to stderr")
+		since    = flag.String("since", "", "restrict findings to files changed since this git ref (plus untracked files)")
+		annotate = flag.Bool("annotate", false, "also emit findings as GitHub workflow annotations (::error file=...)")
 	)
 	flag.Parse()
 
@@ -73,11 +81,25 @@ func run() int {
 		return 2
 	}
 
+	var changed map[string]bool
+	if *since != "" {
+		changed, err = changedSince(loader.ModRoot, *since)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itv-vet: -since:", err)
+			return 2
+		}
+	}
+
 	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "itv-vet: %s: %v\n", dir, err)
+			// A failed load is the hardest state to debug blind; show every
+			// line the loader produced (errors.Join renders one per line).
+			fmt.Fprintf(os.Stderr, "itv-vet: %s: load failed:\n", dir)
+			for _, line := range strings.Split(err.Error(), "\n") {
+				fmt.Fprintf(os.Stderr, "itv-vet:   %s\n", line)
+			}
 			return 2
 		}
 		if *typeErrs {
@@ -101,6 +123,15 @@ func run() int {
 	}
 
 	diags := lint.Run(pkgs, selected)
+	if changed != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			if changed[d.File] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -116,6 +147,22 @@ func run() int {
 			fmt.Println(d)
 		}
 	}
+	if *annotate {
+		// Annotations ride stdout for the workflow-command parser unless
+		// JSON already owns it.
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		for _, d := range diags {
+			file := d.File
+			if rel, err := filepath.Rel(loader.ModRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+				file, d.Line, d.Col, d.Check, annotationEscape(d.Message))
+		}
+	}
 	if len(diags) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "itv-vet: %d finding(s)\n", len(diags))
@@ -123,4 +170,43 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// changedSince returns the absolute paths of .go files changed since ref,
+// plus untracked ones — the working set a fast local run cares about.
+func changedSince(modRoot, ref string) (map[string]bool, error) {
+	set := make(map[string]bool)
+	collect := func(args ...string) error {
+		cmd := exec.Command("git", append([]string{"-C", modRoot}, args...)...)
+		out, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+				return fmt.Errorf("git %s: %s", strings.Join(args, " "), strings.TrimSpace(string(ee.Stderr)))
+			}
+			return fmt.Errorf("git %s: %v", strings.Join(args, " "), err)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || !strings.HasSuffix(line, ".go") {
+				continue
+			}
+			set[filepath.Join(modRoot, filepath.FromSlash(line))] = true
+		}
+		return nil
+	}
+	if err := collect("diff", "--name-only", ref); err != nil {
+		return nil, err
+	}
+	if err := collect("ls-files", "--others", "--exclude-standard"); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// annotationEscape encodes a message for the workflow-command grammar.
+func annotationEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

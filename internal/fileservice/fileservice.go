@@ -97,6 +97,12 @@ func (s *Service) Mkdir(path string) error {
 		if !parent.subs[p] {
 			parent.subs[p] = true
 			s.dirs[next] = newDir()
+			// Registering under s.mu publishes the directory entry and its
+			// skeleton atomically: any lookup that can see the dir can
+			// invoke it.  Register pins Endpoint.mu only for a map insert
+			// and never re-enters the file service, so the nesting cannot
+			// form a cycle.
+			//lint:ignore lockorder Register is a leaf map insert under Endpoint.mu and never calls back into fileservice
 			s.sess.Ep.Register(dirObjectID(next), &dirSkel{s: s, path: next})
 		}
 		cur = next

@@ -1,0 +1,120 @@
+package lint
+
+import "go/ast"
+
+// A lightweight forward dataflow engine over funcCFG.  Analyses model a
+// finite abstract value per tracked key (a *types.Var for ownership
+// tracking, a lock-identity string for held-sets) and supply a transfer
+// function; the engine computes the fixpoint of block in-states with a
+// worklist and then makes one deterministic reporting pass, so transfer
+// functions can report without worrying about re-execution during
+// iteration.
+//
+// The lattice is per-key: absent keys are bottom, joinVal combines two
+// non-bottom values.  joinVal must be commutative, associative and
+// idempotent or the fixpoint is not well-defined.
+
+// absVal is one abstract value; the meaning is the analyzer's.
+type absVal uint8
+
+// flowState maps tracked keys to abstract values.  Keys are small
+// comparable values (types.Object pointers or strings).
+type flowState map[any]absVal
+
+func (s flowState) clone() flowState {
+	c := make(flowState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// flowAnalysis is one dataflow problem.
+type flowAnalysis struct {
+	// joinVal combines two non-bottom values at a merge point.
+	joinVal func(a, b absVal) absVal
+	// transfer applies one flow node's effect to s in place.  It is called
+	// with report=false during fixpoint iteration (possibly many times per
+	// node) and exactly once per node with report=true afterwards, with
+	// the node's stable in-state; diagnostics belong in the report pass.
+	transfer func(s flowState, n ast.Node, report bool)
+}
+
+// joinInto merges src into dst, reporting whether dst changed.
+func (a *flowAnalysis) joinInto(dst, src flowState) bool {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv
+			changed = true
+			continue
+		}
+		if nv := a.joinVal(dv, sv); nv != dv {
+			dst[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// runForward computes the fixpoint and runs the reporting pass.  It
+// returns the exit block's in-state (before deferred calls; the analyzer
+// replays cfg.deferred itself, in order, against the returned state).
+func runForward(cfg *funcCFG, a *flowAnalysis) flowState {
+	return runForwardSeeded(cfg, a, flowState{})
+}
+
+// runForwardSeeded is runForward with a non-empty entry state (e.g.
+// parameters with known abstract values).
+func runForwardSeeded(cfg *funcCFG, a *flowAnalysis, seed flowState) flowState {
+	in := make(map[*block]flowState, len(cfg.blocks))
+	in[cfg.entry] = seed.clone()
+
+	work := []*block{cfg.entry}
+	queued := map[*block]bool{cfg.entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := in[b].clone()
+		for _, n := range b.nodes {
+			a.transfer(out, n, false)
+		}
+		for _, succ := range b.succs {
+			si, ok := in[succ]
+			if !ok {
+				in[succ] = out.clone()
+			} else if !a.joinInto(si, out) {
+				continue
+			}
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Reporting pass: every reachable block once, in construction order
+	// (deterministic diagnostics).  Unreachable islands get bottom states.
+	for _, b := range cfg.blocks {
+		st, ok := in[b]
+		if !ok {
+			st = flowState{}
+		} else {
+			st = st.clone()
+		}
+		for _, n := range b.nodes {
+			a.transfer(st, n, true)
+		}
+	}
+
+	exit, ok := in[cfg.exit]
+	if !ok {
+		// No path reaches exit (e.g. `for {}` with no break): nothing can
+		// leak past the function's lifetime.
+		return flowState{}
+	}
+	return exit.clone()
+}

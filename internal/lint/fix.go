@@ -42,7 +42,7 @@ func FixRawErrCmp(pkgs []*Package) ([]string, error) {
 		byFile := make(map[string][]edit)
 		for _, cmp := range cmps {
 			pos := pkg.Fset.Position(cmp.OpPos)
-			if suppressed(sups, Diagnostic{Check: "rawerrcmp", File: pos.Filename, Line: pos.Line}) {
+			if suppressed(sups, Diagnostic{Check: "rawerrcmp", File: pos.Filename, Line: pos.Line, Col: pos.Column}) {
 				continue
 			}
 			off := func(p token.Pos) int { return pkg.Fset.Position(p).Offset }

@@ -46,6 +46,15 @@ type Check interface {
 	Run(p *Pass)
 }
 
+// ModuleCheck is a Check whose property only exists module-wide (a lock
+// graph has no per-package meaning).  RunModule is called once with one
+// pass per loaded package; Run is still called per package and is
+// usually empty.
+type ModuleCheck interface {
+	Check
+	RunModule(passes []*Pass)
+}
+
 // Pass carries one (check, package) execution.
 type Pass struct {
 	Pkg   *Package
@@ -173,6 +182,16 @@ const IgnorePrefix = "lint:ignore"
 type suppression struct {
 	check string
 	line  int
+	// Node anchor: the span of the statement/declaration the directive is
+	// attached to.  A directive on its own line anchors to the leftmost
+	// node starting on the next line; a trailing directive anchors to the
+	// leftmost node starting earlier on its own line.  Anchoring means an
+	// unrelated second statement sharing the line cannot ride along on
+	// someone else's suppression.  startLine==0 means no anchor resolved
+	// (directive past a multi-line statement's end, stray comment); those
+	// fall back to the historical exact-line match.
+	startLine, startCol int
+	endLine, endCol     int
 }
 
 // suppressions scans a unit's comments.  Malformed directives (missing
@@ -198,9 +217,16 @@ func collectSuppressions(pkg *Package) (map[string][]suppression, []Diagnostic) 
 					})
 					continue
 				}
+				s := suppression{line: pos.Line}
+				if anchor := anchorNode(pkg, f, pos.Line, pos.Column); anchor != nil {
+					start := pkg.Fset.Position(anchor.Pos())
+					end := pkg.Fset.Position(anchor.End())
+					s.startLine, s.startCol = start.Line, start.Column
+					s.endLine, s.endCol = end.Line, end.Column
+				}
 				for _, name := range strings.Split(fields[0], ",") {
-					bySite[pos.Filename] = append(bySite[pos.Filename],
-						suppression{check: name, line: pos.Line})
+					s.check = name
+					bySite[pos.Filename] = append(bySite[pos.Filename], s)
 				}
 			}
 		}
@@ -208,10 +234,55 @@ func collectSuppressions(pkg *Package) (map[string][]suppression, []Diagnostic) 
 	return bySite, bad
 }
 
+// anchorNode resolves the statement/declaration a directive at
+// (line, col) governs: the leftmost node starting before it on the same
+// line (trailing comment), else the leftmost node starting on the next
+// line (directive on its own line).
+func anchorNode(pkg *Package, f *ast.File, line, col int) ast.Node {
+	var trailing, below ast.Node
+	better := func(cur ast.Node, n ast.Node) bool {
+		return cur == nil || pkg.Fset.Position(n.Pos()).Column < pkg.Fset.Position(cur.Pos()).Column
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
+		default:
+			return true
+		}
+		pos := pkg.Fset.Position(n.Pos())
+		switch {
+		case pos.Line == line && pos.Column < col:
+			if better(trailing, n) {
+				trailing = n
+			}
+		case pos.Line == line+1:
+			if better(below, n) {
+				below = n
+			}
+		}
+		return true
+	})
+	if trailing != nil {
+		return trailing
+	}
+	return below
+}
+
 func suppressed(sups map[string][]suppression, d Diagnostic) bool {
 	for _, s := range sups[d.File] {
-		if (s.check == d.Check || s.check == "all") &&
-			(s.line == d.Line || s.line == d.Line-1) {
+		if s.check != d.Check && s.check != "all" {
+			continue
+		}
+		if s.startLine != 0 {
+			after := d.Line > s.startLine || (d.Line == s.startLine && d.Col >= s.startCol)
+			before := d.Line < s.endLine || (d.Line == s.endLine && d.Col <= s.endCol)
+			if after && before {
+				return true
+			}
+			continue
+		}
+		// No anchor: historical exact-line behavior.
+		if s.line == d.Line || s.line == d.Line-1 {
 			return true
 		}
 	}
@@ -219,19 +290,35 @@ func suppressed(sups map[string][]suppression, d Diagnostic) bool {
 }
 
 // Run executes checks over packages, applies suppressions, and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position.  ModuleChecks additionally run
+// once over the whole package set.
 func Run(pkgs []*Package, checks []Check) []Diagnostic {
 	var out []Diagnostic
+	supsByPkg := make(map[*Package]map[string][]suppression, len(pkgs))
 	for _, pkg := range pkgs {
 		sups, bad := collectSuppressions(pkg)
+		supsByPkg[pkg] = sups
 		out = append(out, bad...)
-		for _, c := range checks {
+	}
+	keep := func(pkg *Package, diags []Diagnostic) {
+		for _, d := range diags {
+			if !suppressed(supsByPkg[pkg], d) {
+				out = append(out, d)
+			}
+		}
+	}
+	for _, c := range checks {
+		var modulePasses []*Pass
+		for _, pkg := range pkgs {
 			pass := &Pass{Pkg: pkg, check: c.Name()}
 			c.Run(pass)
-			for _, d := range pass.diags {
-				if !suppressed(sups, d) {
-					out = append(out, d)
-				}
+			keep(pkg, pass.diags)
+			modulePasses = append(modulePasses, &Pass{Pkg: pkg, check: c.Name()})
+		}
+		if mc, ok := c.(ModuleCheck); ok {
+			mc.RunModule(modulePasses)
+			for _, pass := range modulePasses {
+				keep(pass.Pkg, pass.diags)
 			}
 		}
 	}
@@ -261,6 +348,9 @@ func All() []Check {
 		metricName{},
 		eventName{},
 		wallTime{},
+		poolOwn{},
+		ctxFlow{},
+		lockOrder{},
 	}
 }
 

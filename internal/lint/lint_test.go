@@ -9,10 +9,10 @@ import (
 	"testing"
 )
 
-// golden loads one fixture package from testdata/mod and runs the named
-// checks over it.  Fixtures must type-check cleanly: a broken fixture
-// tests nothing.
-func golden(t *testing.T, dir, checkNames string) ([]Diagnostic, *Package) {
+// golden loads fixture packages (dirs relative to testdata/mod) and runs
+// the named checks over them as one unit set.  Fixtures must type-check
+// cleanly: a broken fixture tests nothing.
+func golden(t *testing.T, checkNames string, dirs ...string) ([]Diagnostic, []*Package) {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "mod"))
 	if err != nil {
@@ -22,18 +22,22 @@ func golden(t *testing.T, dir, checkNames string) ([]Diagnostic, *Package) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := loader.Load(filepath.Join(root, "checks", dir))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, te := range pkg.TypeErrors {
-		t.Errorf("fixture %s does not type-check: %v", dir, te)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.Load(filepath.Join(root, filepath.FromSlash(dir)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", dir, te)
+		}
+		pkgs = append(pkgs, pkg)
 	}
 	checks, err := ByName(checkNames)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Run([]*Package{pkg}, checks), pkg
+	return Run(pkgs, checks), pkgs
 }
 
 // want is one expectation parsed from a `// want "substr"` comment.
@@ -45,22 +49,47 @@ type want struct {
 
 var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
 
-func collectWants(t *testing.T, pkg *Package) []want {
+func collectWants(t *testing.T, pkgs []*Package) []want {
 	t.Helper()
 	var wants []want
-	for _, f := range pkg.Files {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		data, err := os.ReadFile(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, line := range strings.Split(string(data), "\n") {
-			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
-				wants = append(wants, want{file: name, line: i + 1, substr: m[1]})
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+					wants = append(wants, want{file: name, line: i + 1, substr: m[1]})
+				}
 			}
 		}
 	}
 	return wants
+}
+
+// matchWants asserts diags and wants agree exactly: every want hit,
+// nothing unannotated reported.
+func matchWants(t *testing.T, diags []Diagnostic, wants []want) {
+	t.Helper()
+	matched := make([]bool, len(wants))
+diag:
+	for _, d := range diags {
+		for i, w := range wants {
+			if !matched[i] && w.file == d.File && w.line == d.Line &&
+				strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				continue diag
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
 }
 
 // TestGolden checks, per analyzer, that every `// want` annotation is hit
@@ -71,40 +100,43 @@ func TestGolden(t *testing.T) {
 		dir    string
 		checks string
 	}{
-		{"mutexacrossrpc", "mutexacrossrpc"},
-		{"rawerrcmp", "rawerrcmp"},
-		{"sleepyclock", "sleepyclock"},
-		{"sleepyclock_noclock", "sleepyclock"},
-		{"mortalref", "mortalref"},
-		{"leakygo", "leakygo"},
-		{"metricname", "metricname"},
-		{"eventname", "eventname"},
-		{"walltime", "walltime"},
-		{"suppress", "sleepyclock"},
+		{"checks/mutexacrossrpc", "mutexacrossrpc"},
+		{"checks/rawerrcmp", "rawerrcmp"},
+		{"checks/sleepyclock", "sleepyclock"},
+		{"checks/sleepyclock_noclock", "sleepyclock"},
+		{"checks/mortalref", "mortalref"},
+		{"checks/leakygo", "leakygo"},
+		{"checks/metricname", "metricname"},
+		{"checks/eventname", "eventname"},
+		{"checks/walltime", "walltime"},
+		{"checks/suppress", "sleepyclock"},
+		{"checks/suppress_node", "sleepyclock"},
+		{"checks/poolown", "poolown"},
+		{"internal/ctxflow", "ctxflow"},
+		{"checks/lockorder", "lockorder"},
+		{"checks/generics", "poolown,ctxflow,lockorder"},
+		{"checks/multifile", "poolown"},
 	}
 	for _, tc := range cases {
-		t.Run(tc.dir, func(t *testing.T) {
-			diags, pkg := golden(t, tc.dir, tc.checks)
-			wants := collectWants(t, pkg)
-
-			matched := make([]bool, len(wants))
-		diag:
-			for _, d := range diags {
-				for i, w := range wants {
-					if !matched[i] && w.file == d.File && w.line == d.Line &&
-						strings.Contains(d.Message, w.substr) {
-						matched[i] = true
-						continue diag
-					}
-				}
-				t.Errorf("unexpected diagnostic: %s", d)
-			}
-			for i, w := range wants {
-				if !matched[i] {
-					t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
-				}
-			}
+		t.Run(filepath.Base(tc.dir), func(t *testing.T) {
+			diags, pkgs := golden(t, tc.checks, tc.dir)
+			matchWants(t, diags, collectWants(t, pkgs))
 		})
+	}
+}
+
+// TestLockOrderModule exercises the interprocedural, cross-package side
+// of lockorder: the fixture's own lock is held across a call into the
+// fixture orb package, whose Register acquires further locks.  That edge
+// only exists when both packages are analyzed together — a single-unit
+// run must stay silent.
+func TestLockOrderModule(t *testing.T) {
+	diags, pkgs := golden(t, "lockorder", "checks/lockorder_xpkg", "internal/orb")
+	matchWants(t, diags, collectWants(t, pkgs))
+
+	solo, _ := golden(t, "lockorder", "checks/lockorder_xpkg")
+	for _, d := range solo {
+		t.Errorf("without the callee's package the edge should be invisible, got: %s", d)
 	}
 }
 
@@ -112,7 +144,7 @@ func TestGolden(t *testing.T) {
 // reported, and the finding it meant to silence survives.  (Asserted
 // directly: a want comment cannot share a line with the directive.)
 func TestMalformedDirective(t *testing.T) {
-	diags, _ := golden(t, "directive", "sleepyclock")
+	diags, _ := golden(t, "sleepyclock", "checks/directive")
 	var gotDirective, gotSleepy bool
 	for _, d := range diags {
 		switch d.Check {

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -315,19 +316,19 @@ func (l *Loader) export(path string) (*types.Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	var firstErr error
+	var checkErrs []error
 	conf := types.Config{
 		Importer: l,
 		Error: func(err error) {
-			if firstErr == nil {
-				firstErr = err
-			}
+			checkErrs = append(checkErrs, err)
 		},
 		FakeImportC: true,
 	}
 	p, _ := conf.Check(path, l.fset, files, nil)
 	if p == nil {
-		return nil, firstErr
+		// Surface every complaint, not just the first: a failed export
+		// view is the hardest loader state to debug from the CLI.
+		return nil, errors.Join(checkErrs...)
 	}
 	l.exports[path] = p
 	return p, nil

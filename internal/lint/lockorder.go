@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrder builds the module-wide mutex-acquisition graph: an edge
+// A → B means some path acquires lock B while holding lock A, either
+// directly or through a call chain.  Two things are worth a human's
+// attention in that graph: cycles (the classic AB/BA deadlock, which no
+// single package can see once the locks live in different packages) and
+// any edge that crosses a package boundary at all — the static
+// generalization of mutexacrossrpc's rule that you release before
+// calling out of your own subsystem.
+//
+// Lock identity is type-based ("orb.clientConn.mu", "names.Replica.replMu",
+// a package-level "pkg.gmu"): ordering is a discipline over lock *slots*,
+// not instances.  Local sync.Mutex variables have function lifetime and
+// are skipped.  Calls under `go` start a new stack and contribute no
+// edge; deferred unlocks pin the lock to function exit, exactly like
+// mutexacrossrpc.
+type lockOrder struct{}
+
+func (lockOrder) Name() string { return "lockorder" }
+func (lockOrder) Doc() string {
+	return "cross-package mutex-acquisition graph: flag lock-order cycles and locks taken while holding one across a package boundary"
+}
+
+// Run is per-package and empty: the graph only means something whole.
+func (lockOrder) Run(p *Pass) {}
+
+// lockKey identifies one lock slot.
+type lockKey struct {
+	pkg  string // package path owning the slot
+	name string // "clientConn.mu", "Replica.replMu", "gmu"
+}
+
+func (k lockKey) id() string { return k.pkg + "#" + k.name }
+
+// display renders "orb.clientConn.mu" — last path element plus slot.
+func (k lockKey) display() string {
+	base := k.pkg
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	return base + "." + k.name
+}
+
+const hHeld absVal = 1
+
+func lockJoin(a, b absVal) absVal { return hHeld }
+
+// lockEdge records "to acquired while from was held" at pos.
+type lockEdge struct {
+	from, to lockKey
+	pos      token.Position
+	tpos     token.Pos
+	p        *Pass
+	via      string // call chain hint ("" for a direct acquisition)
+}
+
+// lockSite is a call made while holding locks; it becomes edges once the
+// callee's transitive acquisitions are known.
+type lockSite struct {
+	held   []lockKey
+	callee string
+	pos    token.Pos
+	p      *Pass
+}
+
+// lockGraph is the module-wide collector.
+type lockGraph struct {
+	keys    map[string]lockKey
+	edges   []lockEdge
+	sites   []lockSite
+	direct  map[string]map[string]bool // funcKey → lock ids acquired in body
+	callees map[string]map[string]bool // funcKey → funcKeys called in body
+}
+
+func (lockOrder) RunModule(passes []*Pass) {
+	g := &lockGraph{
+		keys:    make(map[string]lockKey),
+		direct:  make(map[string]map[string]bool),
+		callees: make(map[string]map[string]bool),
+	}
+
+	for _, p := range passes {
+		p := p
+		walkFuncs(p.Pkg, func(node ast.Node, body *ast.BlockStmt) {
+			fk := ""
+			if fd, ok := node.(*ast.FuncDecl); ok {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					fk = funcKeyOf(fn)
+				}
+			}
+			lf := &lockFunc{p: p, g: g, fk: fk}
+			cfg := buildCFG(body)
+			runForward(cfg, &flowAnalysis{joinVal: lockJoin, transfer: lf.transfer})
+		})
+	}
+
+	// Interprocedural closure: mayAcquire(f) = direct(f) ∪ mayAcquire(callees).
+	mayAcq := make(map[string]map[string]bool, len(g.direct))
+	for fk, ids := range g.direct {
+		m := make(map[string]bool, len(ids))
+		for id := range ids {
+			m[id] = true
+		}
+		mayAcq[fk] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fk, cs := range g.callees {
+			for c := range cs {
+				for id := range mayAcq[c] {
+					if mayAcq[fk] == nil {
+						mayAcq[fk] = make(map[string]bool)
+					}
+					if !mayAcq[fk][id] {
+						mayAcq[fk][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Turn held-calls into edges through the callee's acquisitions.
+	for _, s := range g.sites {
+		for id := range mayAcq[s.callee] {
+			to := g.keys[id]
+			for _, h := range s.held {
+				if h.id() == id {
+					continue
+				}
+				g.edges = append(g.edges, lockEdge{
+					from: h, to: to,
+					pos: s.p.Pkg.Fset.Position(s.pos), tpos: s.pos, p: s.p,
+					via: shortFuncKey(s.callee),
+				})
+			}
+		}
+	}
+
+	adj := make(map[string]map[string]bool)
+	for _, e := range g.edges {
+		if adj[e.from.id()] == nil {
+			adj[e.from.id()] = make(map[string]bool)
+		}
+		adj[e.from.id()][e.to.id()] = true
+	}
+
+	sort.Slice(g.edges, func(i, j int) bool {
+		a, b := g.edges[i].pos, g.edges[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	reported := make(map[string]bool)
+	for _, e := range g.edges {
+		ek := e.from.id() + "|" + e.to.id()
+		if reported[ek] {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = " (via call to " + e.via + ")"
+		}
+		if path := lockPath(adj, e.to.id(), e.from.id()); path != nil {
+			reported[ek] = true
+			names := []string{e.from.display()}
+			for _, id := range path {
+				names = append(names, g.keys[id].display())
+			}
+			names = append(names, e.from.display())
+			e.p.Reportf(e.tpos, "lock-order cycle: %s%s; some path also acquires them in the reverse order, which deadlocks",
+				strings.Join(names, " → "), via)
+			continue
+		}
+		// Cross-package nesting is only deadlock-relevant when the acquired
+		// lock is itself a gateway — held while taking further locks.  An
+		// edge into a leaf lock (obs counters, a connection's writeMu) can
+		// never extend into a cycle and stays silent.
+		if e.from.pkg != e.to.pkg && len(adj[e.to.id()]) > 0 {
+			reported[ek] = true
+			e.p.Reportf(e.tpos, "%s acquired while holding %s%s: nested locking across a package boundary through a lock that locks further; release %s before calling out or document the order",
+				e.to.display(), e.from.display(), via, e.from.display())
+		}
+	}
+}
+
+// lockPath finds id-path from → …  → to in adj (excluding the start),
+// nil when unreachable.
+func lockPath(adj map[string]map[string]bool, from, to string) []string {
+	type qe struct {
+		id   string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	queue := []qe{{id: from, path: []string{from}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.id == to {
+			return cur.path
+		}
+		// Deterministic expansion order.
+		var next []string
+		for n := range adj[cur.id] {
+			if !seen[n] {
+				next = append(next, n)
+			}
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			seen[n] = true
+			queue = append(queue, qe{id: n, path: append(append([]string{}, cur.path...), n)})
+		}
+	}
+	return nil
+}
+
+// funcKeyOf renders a stable cross-package function identity.  The loader
+// type-checks every analysis unit separately, so *types.Func pointers for
+// the same function differ between packages; the string form does not.
+func funcKeyOf(fn *types.Func) string {
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedFrom(sig.Recv().Type()); n != nil {
+			key += n.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+func shortFuncKey(fk string) string {
+	if i := strings.LastIndex(fk, "/"); i >= 0 {
+		return fk[i+1:]
+	}
+	return fk
+}
+
+// lockFunc analyzes one function body against the module graph.
+type lockFunc struct {
+	p  *Pass
+	g  *lockGraph
+	fk string // "" for function literals (no interprocedural summary)
+}
+
+func (lf *lockFunc) transfer(s flowState, n ast.Node, report bool) {
+	switch n.(type) {
+	case *ast.DeferStmt:
+		// Deferred unlocks pin the lock to exit; deferred lock-taking is
+		// out of scope.  Either way the defer changes nothing mid-body.
+		return
+	case *ast.GoStmt:
+		// A new goroutine starts with an empty stack of held locks; its
+		// literal body is analyzed on its own.
+		return
+	}
+	flowInspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if acq, rel := lockKind(sel.Sel.Name); acq || rel {
+				if isMutexRecv(lf.p.TypeOf(sel.X)) {
+					key, trackable := lockKeyOf(lf.p, sel.X)
+					if !trackable {
+						return true
+					}
+					id := key.id()
+					if acq {
+						if report {
+							lf.g.keys[id] = key
+							lf.recordAcquire(id)
+							for held := range s {
+								hid := held.(string)
+								if hid != id {
+									lf.g.edges = append(lf.g.edges, lockEdge{
+										from: lf.g.keys[hid], to: key,
+										pos: lf.p.Pkg.Fset.Position(call.Pos()), tpos: call.Pos(), p: lf.p,
+									})
+								}
+							}
+						}
+						s[id] = hHeld
+					} else {
+						delete(s, id)
+					}
+					return true
+				}
+			}
+		}
+		if !report {
+			return true
+		}
+		if fn, ok := calleeObject(lf.p, call).(*types.Func); ok && fn.Pkg() != nil {
+			ck := funcKeyOf(fn)
+			if lf.fk != "" {
+				if lf.g.callees[lf.fk] == nil {
+					lf.g.callees[lf.fk] = make(map[string]bool)
+				}
+				lf.g.callees[lf.fk][ck] = true
+			}
+			if len(s) > 0 {
+				held := make([]lockKey, 0, len(s))
+				for k := range s {
+					held = append(held, lf.g.keys[k.(string)])
+				}
+				sort.Slice(held, func(i, j int) bool { return held[i].id() < held[j].id() })
+				lf.g.sites = append(lf.g.sites, lockSite{held: held, callee: ck, pos: call.Pos(), p: lf.p})
+			}
+		}
+		return true
+	})
+}
+
+func (lf *lockFunc) recordAcquire(id string) {
+	if lf.fk == "" {
+		return
+	}
+	if lf.g.direct[lf.fk] == nil {
+		lf.g.direct[lf.fk] = make(map[string]bool)
+	}
+	lf.g.direct[lf.fk][id] = true
+}
+
+// lockKeyOf resolves the owner expression of a Lock/Unlock receiver to a
+// stable slot identity.  Local plain mutexes are not trackable.
+func lockKeyOf(p *Pass, recv ast.Expr) (lockKey, bool) {
+	switch r := recv.(type) {
+	case *ast.ParenExpr:
+		return lockKeyOf(p, r.X)
+	case *ast.SelectorExpr:
+		// pkgname.GlobalMu
+		if id, ok := r.X.(*ast.Ident); ok {
+			if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+				return lockKey{pkg: pn.Imported().Path(), name: r.Sel.Name}, true
+			}
+		}
+		// x.mu — slot is the field of x's named type.
+		if n := namedFrom(p.TypeOf(r.X)); n != nil && n.Obj().Pkg() != nil {
+			return lockKey{pkg: n.Obj().Pkg().Path(), name: n.Obj().Name() + "." + r.Sel.Name}, true
+		}
+	case *ast.Ident:
+		obj, _ := p.Pkg.Info.Uses[r].(*types.Var)
+		if obj == nil || obj.Pkg() == nil {
+			return lockKey{}, false
+		}
+		// Package-level mutex variable.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return lockKey{pkg: obj.Pkg().Path(), name: obj.Name()}, true
+		}
+		// A plain local mutex has function lifetime: no slot, no ordering.
+		if isNamed(obj.Type(), "sync", "Mutex") || isNamed(obj.Type(), "sync", "RWMutex") {
+			return lockKey{}, false
+		}
+		// s.Lock() through an embedded mutex: slot is the embedding type.
+		if n := namedFrom(obj.Type()); n != nil && n.Obj().Pkg() != nil {
+			return lockKey{pkg: n.Obj().Pkg().Path(), name: n.Obj().Name() + ".Mutex"}, true
+		}
+	}
+	return lockKey{}, false
+}

@@ -1,0 +1,73 @@
+package lockorder
+
+import "sync"
+
+// S carries two lock slots acquired in opposite orders below: the
+// classic AB/BA cycle.
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func f(s *S) {
+	s.a.Lock()
+	s.b.Lock() // want "lock-order cycle"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func g(s *S) {
+	s.b.Lock()
+	s.a.Lock() // want "lock-order cycle"
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// T's locks are always taken x-then-y: a consistent order is not a
+// finding, however often the edge recurs.
+type T struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func h1(t *T) {
+	t.x.Lock()
+	t.y.Lock()
+	t.y.Unlock()
+	t.x.Unlock()
+}
+
+func h2(t *T) {
+	t.x.Lock()
+	defer t.x.Unlock() // deferred unlock pins x to exit; order still x→y
+	t.y.Lock()
+	t.y.Unlock()
+}
+
+func h3(t *T) {
+	t.y.Lock()
+	t.y.Unlock() // released before x: no nesting, no edge
+	t.x.Lock()
+	t.x.Unlock()
+}
+
+// A goroutine starts with an empty lock stack: the literal's reverse
+// acquisition happens on another stack and contributes no y→x edge.
+func spawn(t *T, done chan struct{}) {
+	t.y.Lock()
+	go func() {
+		t.x.Lock()
+		t.x.Unlock()
+		close(done)
+	}()
+	t.y.Unlock()
+}
+
+// A local mutex has function lifetime: no slot, no ordering.
+func local(t *T) {
+	var mu sync.Mutex
+	mu.Lock()
+	t.x.Lock()
+	t.x.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package lockorder_xpkg holds its own lock across a call into
+// golden/internal/orb, whose Register locks further (regMu → tableMu):
+// the cross-package gateway pattern lockorder flags.  Loaded together
+// with internal/orb by TestLockOrderModule — the callee's acquisitions
+// are only visible when its body is part of the analyzed set.
+package lockorder_xpkg
+
+import (
+	"sync"
+
+	"golden/internal/orb"
+)
+
+type registry struct {
+	mu sync.Mutex
+	ep *orb.Endpoint
+}
+
+func (r *registry) publish(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ep.Register(id) // want "acquired while holding"
+}
+
+// Releasing before calling out is the sanctioned shape.
+func (r *registry) publishClean(id string) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.ep.Register(id)
+}
+
+// Invoke acquires nothing, so holding a lock across it adds no edge
+// (mutexacrossrpc owns the blocking-RPC complaint, not lockorder).
+func (r *registry) status(ref orb.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ep.Invoke(ref, "status")
+}

@@ -1,0 +1,8 @@
+// Package multifile declares its pool pair in this file and misuses it
+// in b.go: the analyzers must see the package as one unit.
+package multifile
+
+type conn struct{ id int }
+
+func getConn() *conn  { return &conn{} }
+func putConn(c *conn) {}

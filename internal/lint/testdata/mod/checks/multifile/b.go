@@ -1,0 +1,13 @@
+package multifile
+
+func leak() int {
+	c := getConn() // want "never released"
+	return c.id
+}
+
+func balanced() int {
+	c := getConn()
+	n := c.id
+	putConn(c)
+	return n
+}

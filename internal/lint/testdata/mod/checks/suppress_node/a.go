@@ -1,0 +1,35 @@
+// Package suppress_node pins the node anchoring of //lint:ignore: a
+// directive governs the statement it is attached to — all of it, even
+// across lines — and nothing else, even on the same line.
+package suppress_node
+
+import (
+	"time"
+
+	"golden/internal/clock"
+)
+
+var _ clock.Clock
+
+// A trailing directive anchors to the first statement on the line; a
+// second statement sharing the line cannot ride along on it.
+func sameLine() {
+	time.Sleep(time.Millisecond); time.Sleep(time.Millisecond) //lint:ignore sleepyclock covers the anchored statement only // want "time.Sleep"
+}
+
+// A directive on its own line covers the whole next statement, including
+// findings on its later lines (beyond the old exact-line reach).
+func anchoredBelow(t0 time.Time) []time.Duration {
+	//lint:ignore sleepyclock measuring real elapsed time on purpose
+	ds := []time.Duration{
+		time.Since(t0),
+	}
+	return ds
+}
+
+// Only the next statement: the one after it is not covered.
+func notCovered() {
+	//lint:ignore sleepyclock covers only the statement below
+	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}

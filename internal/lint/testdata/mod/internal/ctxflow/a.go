@@ -1,0 +1,71 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer; it
+// lives under internal/ because the check only applies to library code.
+package ctxflow
+
+import (
+	"context"
+	"time"
+
+	"golden/internal/orb"
+)
+
+type store struct{}
+
+func (s *store) Fetch(ctx context.Context, key string) error { return nil }
+
+// ---- positive cases ----
+
+func freshArg(ctx context.Context, s *store) error {
+	return s.Fetch(context.Background(), "k") // want "fresh context passed here"
+}
+
+func freshVar(ctx context.Context, s *store) error {
+	bg := context.Background()
+	return s.Fetch(bg, "k") // want "fresh context passed here"
+}
+
+func freshDerived(ctx context.Context, s *store) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want "fresh context passed here"
+	defer cancel()
+	return s.Fetch(c, "k") // want "fresh context passed here"
+}
+
+func dropsCtx(ctx context.Context, ep *orb.Endpoint, ref orb.Ref) error {
+	return ep.Invoke(ref, "status") // want "Invoke drops the incoming ctx"
+}
+
+// ---- negative cases ----
+
+func threaded(ctx context.Context, s *store) error {
+	return s.Fetch(ctx, "k")
+}
+
+func threadedDerived(ctx context.Context, s *store) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return s.Fetch(c, "k")
+}
+
+func threadedValue(ctx context.Context, s *store) error {
+	return s.Fetch(context.WithValue(ctx, struct{}{}, "v"), "k")
+}
+
+func ctxVariant(ctx context.Context, ep *orb.Endpoint, ref orb.Ref) error {
+	return ep.InvokeCtx(ctx, ref, "status")
+}
+
+// No ctx parameter: Background is the only option, so no finding.
+func entryPoint(s *store) error {
+	return s.Fetch(context.Background(), "k")
+}
+
+// A method with no Ctx sibling is fine without a ctx argument.
+func noSibling(ctx context.Context, ep *orb.Endpoint) error {
+	return ep.Ping("h1")
+}
+
+// Rebinding the incoming name keeps provenance through context.With*.
+func rebind(ctx context.Context, s *store) error {
+	ctx = context.WithValue(ctx, struct{}{}, "v")
+	return s.Fetch(ctx, "k")
+}

@@ -1,17 +1,42 @@
 // Package orb is a miniature stand-in for itv/internal/orb, just enough
-// shape for the analyzers: an Endpoint with the three RPC methods and a
-// couple of sentinel errors.
+// shape for the analyzers: an Endpoint with the three RPC methods (plus
+// the ctx-threading variant), a lock-guarded registry for the lockorder
+// fixtures, and a couple of sentinel errors.
 package orb
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 type Ref struct{ ID string }
 
 type Endpoint struct{}
 
-func (e *Endpoint) Invoke(ref Ref, method string) error   { return nil }
+func (e *Endpoint) Invoke(ref Ref, method string) error { return nil }
+func (e *Endpoint) InvokeCtx(ctx context.Context, ref Ref, method string) error {
+	return nil
+}
 func (e *Endpoint) Ping(host string) error                { return nil }
 func (e *Endpoint) MetricsOf(host string) (string, error) { return "", nil }
+
+// regMu is a gateway lock: Register locks further while holding it, so a
+// foreign lock held across Register nests across the package boundary.
+var (
+	regMu   sync.Mutex
+	tableMu sync.Mutex
+	table   = map[string]Ref{}
+)
+
+// Register publishes an object, nesting tableMu under regMu.
+func (e *Endpoint) Register(id string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	tableMu.Lock()
+	table[id] = Ref{ID: id}
+	tableMu.Unlock()
+}
 
 var (
 	ErrUnreachable  = errors.New("unreachable")
