@@ -1,16 +1,28 @@
 // itv-benchgate parses `go test -bench` output and enforces the committed
-// allocation budget for the RPC hot path, so a PR that quietly re-adds
-// per-call garbage fails CI rather than landing.
+// perf budget for the RPC hot path — allocations, latency, and throughput —
+// so a PR that quietly re-adds per-call garbage or halves calls/sec fails
+// CI rather than landing.
 //
 // Usage (see .github/workflows/ci.yml):
 //
 //	go test -run xxx -bench 'ORBInvoke|WireRoundTrip' -benchmem -benchtime=1x . \
-//	  | go run ./cmd/itv-benchgate -baseline BENCH_pr3.json -out bench_ci.json
+//	  | go run ./cmd/itv-benchgate -baseline BENCH_pr8.json -out bench_ci.json
 //
 // The baseline file carries both the recorded perf trajectory (before/after
 // of the PR that introduced it) and a "gates" section mapping benchmark
-// names to the maximum allocs/op CI tolerates.  The tool writes the parsed
-// results as a JSON artifact and exits nonzero on any gate breach.
+// names to budgets.  Each gate may set any of:
+//
+//	max_allocs_op  — allocation ceiling, enforced EXACTLY (allocs are
+//	                 deterministic in steady state; no tolerance applies)
+//	max_ns_op      — latency ceiling in ns/op
+//	min_extra      — floors on custom metrics, e.g. {"calls/s": 50000}
+//	max_extra      — ceilings on custom metrics, e.g. {"frames/op": 0.9}
+//	tolerance_pct  — slack applied to max_ns_op / min_extra / max_extra
+//	                 (CI machines are noisy; allocs are not)
+//
+// A gate naming a metric the benchmark did not report is a failure — a
+// silently vanished metric must not read as a pass.  The tool writes the
+// parsed results as a JSON artifact and exits nonzero on any gate breach.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,11 +45,20 @@ type benchResult struct {
 	Extra    map[string]float64 `json:"extra,omitempty"` // custom metrics (wire_B/op, frames/op, ...)
 }
 
+// gate is one benchmark's committed budget.  Pointer fields distinguish
+// "absent" from a literal zero budget (max_allocs_op: 0 is a real, strict
+// gate on the local-invoke path).
+type gate struct {
+	MaxAllocsOp  *float64           `json:"max_allocs_op,omitempty"`
+	MaxNsOp      *float64           `json:"max_ns_op,omitempty"`
+	MinExtra     map[string]float64 `json:"min_extra,omitempty"`
+	MaxExtra     map[string]float64 `json:"max_extra,omitempty"`
+	TolerancePct float64            `json:"tolerance_pct,omitempty"`
+}
+
 // baseline mirrors the committed BENCH_*.json schema.
 type baseline struct {
-	Gates map[string]struct {
-		MaxAllocsOp float64 `json:"max_allocs_op"`
-	} `json:"gates"`
+	Gates map[string]gate `json:"gates"`
 }
 
 // benchLine matches e.g.
@@ -79,26 +101,79 @@ func main() {
 			fmt.Fprintf(os.Stderr, "itv-benchgate: %s: %v\n", *baselinePath, err)
 			os.Exit(2)
 		}
-		for name, gate := range base.Gates {
+		names := make([]string, 0, len(base.Gates))
+		for name := range base.Gates {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			g := base.Gates[name]
 			r, ok := results[name]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "GATE MISSING  %-28s not found in bench output\n", name)
+				fmt.Fprintf(os.Stderr, "GATE MISSING  %-32s not found in bench output\n", name)
 				failed = true
 				continue
 			}
-			if r.AllocsOp > gate.MaxAllocsOp {
-				fmt.Fprintf(os.Stderr, "GATE FAIL     %-28s %.0f allocs/op > budget %.0f\n",
-					name, r.AllocsOp, gate.MaxAllocsOp)
+			if !checkGate(name, g, r) {
 				failed = true
-			} else {
-				fmt.Printf("gate ok       %-28s %.0f allocs/op <= budget %.0f\n",
-					name, r.AllocsOp, gate.MaxAllocsOp)
 			}
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkGate enforces one benchmark's budget, printing one line per bound.
+// Allocation ceilings are exact; latency and custom-metric bounds get the
+// gate's tolerance_pct of slack (in the regression-permitting direction)
+// because CI machines are noisy in time but deterministic in allocs.
+func checkGate(name string, g gate, r benchResult) bool {
+	ok := true
+	slack := 1 + g.TolerancePct/100
+	bound := func(metric string, got float64, pass bool, cmp string, budget float64) {
+		if pass {
+			fmt.Printf("gate ok       %-32s %g %s %s budget %g\n", name, got, metric, cmp, budget)
+		} else {
+			fmt.Fprintf(os.Stderr, "GATE FAIL     %-32s %g %s breaches budget %g\n", name, got, metric, budget)
+			ok = false
+		}
+	}
+	if g.MaxAllocsOp != nil {
+		bound("allocs/op", r.AllocsOp, r.AllocsOp <= *g.MaxAllocsOp, "<=", *g.MaxAllocsOp)
+	}
+	if g.MaxNsOp != nil {
+		bound("ns/op", r.NsOp, r.NsOp <= *g.MaxNsOp*slack, "<~", *g.MaxNsOp)
+	}
+	keys := func(m map[string]float64) []string {
+		ks := make([]string, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	for _, metric := range keys(g.MinExtra) {
+		budget := g.MinExtra[metric]
+		got, have := r.Extra[metric]
+		if !have {
+			fmt.Fprintf(os.Stderr, "GATE FAIL     %-32s metric %q not reported\n", name, metric)
+			ok = false
+			continue
+		}
+		bound(metric, got, got >= budget/slack, ">~", budget)
+	}
+	for _, metric := range keys(g.MaxExtra) {
+		budget := g.MaxExtra[metric]
+		got, have := r.Extra[metric]
+		if !have {
+			fmt.Fprintf(os.Stderr, "GATE FAIL     %-32s metric %q not reported\n", name, metric)
+			ok = false
+			continue
+		}
+		bound(metric, got, got <= budget*slack, "<~", budget)
+	}
+	return ok
 }
 
 // parse reads `go test -bench` output, returning results keyed by benchmark

@@ -72,7 +72,7 @@ func TestIssueTicketAndVerify(t *testing.T) {
 	payload := []byte("invoke open T2")
 	sig := sign(sk, payload)
 	v := NewVerifier(svc.RealmKey(), clk)
-	principal, err := v.Verify("settop/10.1.0.5", sealedTicket, sig, payload)
+	principal, err := v.Verify("settop/10.1.0.5", sealedTicket, sig, payload, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestVerifyRejectsForgedSignature(t *testing.T) {
 	svc.Enroll("p")
 	ticket, _, _ := svc.IssueTicket("p")
 	v := NewVerifier(svc.RealmKey(), clk)
-	if _, err := v.Verify("p", ticket, []byte("forged"), []byte("payload")); !errors.Is(err, ErrBadSignature) {
+	if _, err := v.Verify("p", ticket, []byte("forged"), []byte("payload"), nil); !errors.Is(err, ErrBadSignature) {
 		t.Fatalf("err = %v, want ErrBadSignature", err)
 	}
 }
@@ -101,7 +101,7 @@ func TestVerifyRejectsPrincipalMismatch(t *testing.T) {
 	sk, _ := Open(aliceKey, sealedSK)
 	v := NewVerifier(svc.RealmKey(), clk)
 	payload := []byte("p")
-	if _, err := v.Verify("mallory", ticket, sign(sk, payload), payload); !errors.Is(err, ErrBadTicket) {
+	if _, err := v.Verify("mallory", ticket, sign(sk, payload), payload, nil); !errors.Is(err, ErrBadTicket) {
 		t.Fatalf("err = %v, want ErrBadTicket", err)
 	}
 }
@@ -115,7 +115,7 @@ func TestVerifyRejectsExpiredTicket(t *testing.T) {
 	clk.Advance(DefaultTicketTTL + time.Hour)
 	v := NewVerifier(svc.RealmKey(), clk)
 	payload := []byte("late")
-	if _, err := v.Verify("p", ticket, sign(sk, payload), payload); !errors.Is(err, ErrExpiredTicket) {
+	if _, err := v.Verify("p", ticket, sign(sk, payload), payload, nil); !errors.Is(err, ErrExpiredTicket) {
 		t.Fatalf("err = %v, want ErrExpiredTicket", err)
 	}
 }
@@ -143,11 +143,11 @@ func TestRealmSignedServerCalls(t *testing.T) {
 	v1.Name = "server/192.168.0.1"
 	v2 := NewVerifier(svc.RealmKey(), clk)
 	payload := []byte("replicate binding")
-	principal, ticket, sig, err := v1.Sign(payload)
+	principal, ticket, sig, err := v1.Sign(payload, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := v2.Verify(principal, ticket, sig, payload)
+	got, err := v2.Verify(principal, ticket, sig, payload, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestRealmSignedServerCalls(t *testing.T) {
 	}
 	// Wrong realm key must fail.
 	v3 := NewVerifier(NewKey(), clk)
-	if _, err := v3.Verify(principal, ticket, sig, payload); err == nil {
+	if _, err := v3.Verify(principal, ticket, sig, payload, nil); err == nil {
 		t.Fatal("foreign realm signature accepted")
 	}
 }
@@ -165,11 +165,11 @@ func TestAnonymousPolicy(t *testing.T) {
 	clk := clock.NewFake()
 	svc := NewService(clk)
 	v := NewVerifier(svc.RealmKey(), clk)
-	if _, err := v.Verify("", nil, nil, []byte("x")); err == nil {
+	if _, err := v.Verify("", nil, nil, []byte("x"), nil); err == nil {
 		t.Fatal("anonymous accepted without policy")
 	}
 	v.AllowAnonymous = true
-	if _, err := v.Verify("", nil, nil, []byte("x")); err != nil {
+	if _, err := v.Verify("", nil, nil, []byte("x"), nil); err != nil {
 		t.Fatalf("anonymous rejected with policy: %v", err)
 	}
 }

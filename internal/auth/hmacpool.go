@@ -1,0 +1,82 @@
+package auth
+
+import (
+	"crypto/sha256"
+	"hash"
+	"sync"
+)
+
+// The per-call signature hot path (§3.3: every control-plane call is
+// signed) cannot afford crypto/hmac's per-call construction: hmac.New
+// allocates the two digest states and the key pads on every call.  The
+// HMAC definition itself needs nothing per-call beyond a SHA-256 state
+// and the two XOR-padded key blocks, so we precompute the pads once per
+// key (macState) and borrow the digest from a pool.  The digest carries
+// no key material between calls — Reset clears it — so one pool serves
+// every principal, session and realm key in the process.
+
+// hmacBlockSize is SHA-256's block size, the pad width HMAC is defined
+// over.  Keys longer than a block are first hashed down (RFC 2104); ours
+// are KeySize (32) bytes, but init handles the general case so macState
+// is byte-identical to crypto/hmac for any key.
+const hmacBlockSize = 64
+
+// sigSize is the byte length of a call signature (HMAC-SHA256).
+const sigSize = sha256.Size
+
+var digestPool = sync.Pool{New: func() any { return sha256.New() }}
+
+// getDigest borrows a reset SHA-256 state from the pool.  Callers must
+// release it with putDigest on every path (itv-vet poolown enforces
+// this like the wire encoder pools).
+func getDigest() hash.Hash {
+	d := digestPool.Get().(hash.Hash)
+	d.Reset()
+	return d
+}
+
+// putDigest returns a borrowed digest to the pool.
+func putDigest(d hash.Hash) { digestPool.Put(d) }
+
+// macState is the precomputed half of an HMAC-SHA256 keyed by one
+// secret: the inner and outer XOR-padded key blocks.  It is immutable
+// after init, so concurrent appendSum calls on one state are safe — the
+// mutable digest is per-call, from the pool.
+type macState struct {
+	ipad, opad [hmacBlockSize]byte
+}
+
+// init precomputes the pads for key.
+func (ms *macState) init(key []byte) {
+	if len(key) > hmacBlockSize {
+		sum := sha256.Sum256(key)
+		key = sum[:]
+	}
+	for i := range ms.ipad {
+		ms.ipad[i] = 0x36
+		ms.opad[i] = 0x5c
+	}
+	for i, b := range key {
+		ms.ipad[i] ^= b
+		ms.opad[i] ^= b
+	}
+}
+
+// appendSum computes HMAC(key, payload) and appends it to sigBuf,
+// returning the extended slice.  With cap(sigBuf) >= len(sigBuf)+sigSize
+// (callers pass a fixed scratch array) the call allocates nothing.  The
+// intermediate inner digest is staged in the same buffer: Sum computes
+// the checksum before appending, so overwriting the staged bytes with
+// the final Sum is safe.
+func (ms *macState) appendSum(sigBuf, payload []byte) []byte {
+	d := getDigest()
+	d.Write(ms.ipad[:])
+	d.Write(payload)
+	inner := d.Sum(sigBuf)
+	d.Reset()
+	d.Write(ms.opad[:])
+	d.Write(inner[len(sigBuf):])
+	out := d.Sum(sigBuf)
+	putDigest(d)
+	return out
+}

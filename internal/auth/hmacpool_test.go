@@ -1,0 +1,225 @@
+package auth
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"itv/internal/clock"
+)
+
+// TestMacStateMatchesCryptoHMAC pins the pooled manual HMAC against the
+// crypto/hmac reference for arbitrary keys and payloads — including keys
+// longer than the SHA-256 block, which RFC 2104 hashes down first.
+func TestMacStateMatchesCryptoHMAC(t *testing.T) {
+	f := func(key, payload []byte) bool {
+		var ms macState
+		ms.init(key)
+		return bytes.Equal(ms.appendSum(nil, payload), sign(key, payload))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// quick.Check rarely generates >64-byte keys; force the hashed-key arm.
+	longKey := bytes.Repeat([]byte("k"), 3*hmacBlockSize)
+	var ms macState
+	ms.init(longKey)
+	if !bytes.Equal(ms.appendSum(nil, []byte("p")), sign(longKey, []byte("p"))) {
+		t.Fatal("long-key HMAC diverges from crypto/hmac")
+	}
+}
+
+// TestAppendSumAppendsInPlace checks the caller-owned-buffer contract: the
+// signature is appended after any existing prefix, and a buffer with
+// enough capacity is extended in place, not reallocated.
+func TestAppendSumAppendsInPlace(t *testing.T) {
+	var ms macState
+	ms.init([]byte("key"))
+	var scratch [3 + 2*sigSize]byte
+	copy(scratch[:], "abc")
+	out := ms.appendSum(scratch[:3], []byte("payload"))
+	if string(out[:3]) != "abc" {
+		t.Fatalf("prefix clobbered: %q", out[:3])
+	}
+	if len(out) != 3+sigSize {
+		t.Fatalf("len(out) = %d, want %d", len(out), 3+sigSize)
+	}
+	if &out[0] != &scratch[0] {
+		t.Fatal("appendSum reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(out[3:], sign([]byte("key"), []byte("payload"))) {
+		t.Fatal("appended signature is wrong")
+	}
+}
+
+// TestSignerSignAppendsIntoCallerBuffer checks Signer.Sign lands the
+// signature in the caller's scratch (the pooled request's array on the
+// invoke hot path) and that the result verifies.
+func TestSignerSignAppendsIntoCallerBuffer(t *testing.T) {
+	clk := clock.NewFake()
+	svc := NewService(clk)
+	key := svc.Enroll("p")
+	s := NewSigner("p", key, clk,
+		func() ([]byte, []byte, error) { return svc.IssueTicket("p") })
+
+	var scratch [2 * sigSize]byte
+	payload := []byte("invoke open T2")
+	principal, ticket, sig, err := s.Sign(payload, scratch[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sig[0] != &scratch[0] {
+		t.Fatal("Sign did not use the caller's buffer")
+	}
+	v := NewVerifier(svc.RealmKey(), clk)
+	if got, err := v.Verify(principal, ticket, sig, payload, nil); err != nil || got != "p" {
+		t.Fatalf("Verify = %q, %v; want %q, nil", got, err, "p")
+	}
+}
+
+// issueSigned mints a fresh ticket for principal and signs payload under
+// its session key.
+func issueSigned(t *testing.T, svc *Service, principal string, key, payload []byte) (ticket, sig []byte) {
+	t.Helper()
+	ticket, sealedSK, err := svc.IssueTicket(principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Open(key, sealedSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ticket, sign(sk, payload)
+}
+
+// TestVerifierSessionCacheHit checks a ticket is unsealed once and served
+// from the session cache afterwards.
+func TestVerifierSessionCacheHit(t *testing.T) {
+	clk := clock.NewFake()
+	svc := NewService(clk)
+	key := svc.Enroll("p")
+	v := NewVerifier(svc.RealmKey(), clk)
+	payload := []byte("m")
+	ticket, sig := issueSigned(t, svc, "p", key, payload)
+
+	for i := 0; i < 3; i++ {
+		if _, err := v.Verify("p", ticket, sig, payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.sessMu.RLock()
+	n := len(v.sessions)
+	v.sessMu.RUnlock()
+	if n != 1 {
+		t.Fatalf("sessions cached = %d, want 1", n)
+	}
+}
+
+// TestVerifierSessionCacheExpiry checks an expired ticket is both rejected
+// and evicted — a dead session must not pin cache capacity.
+func TestVerifierSessionCacheExpiry(t *testing.T) {
+	clk := clock.NewFake()
+	svc := NewService(clk)
+	key := svc.Enroll("p")
+	v := NewVerifier(svc.RealmKey(), clk)
+	payload := []byte("m")
+	ticket, sig := issueSigned(t, svc, "p", key, payload)
+	if _, err := v.Verify("p", ticket, sig, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(DefaultTicketTTL + time.Hour)
+	if _, err := v.Verify("p", ticket, sig, payload, nil); !errors.Is(err, ErrExpiredTicket) {
+		t.Fatalf("err = %v, want ErrExpiredTicket", err)
+	}
+	v.sessMu.RLock()
+	n := len(v.sessions)
+	v.sessMu.RUnlock()
+	if n != 0 {
+		t.Fatalf("expired session still cached (%d entries)", n)
+	}
+}
+
+// TestVerifierSessionCacheBound checks the cache never exceeds maxSessions
+// no matter how many distinct tickets verify, and keeps admitting new ones
+// after overflow.
+func TestVerifierSessionCacheBound(t *testing.T) {
+	clk := clock.NewFake()
+	svc := NewService(clk)
+	key := svc.Enroll("p")
+	v := NewVerifier(svc.RealmKey(), clk)
+	payload := []byte("m")
+	for i := 0; i < maxSessions+8; i++ {
+		ticket, sig := issueSigned(t, svc, "p", key, payload)
+		if _, err := v.Verify("p", ticket, sig, payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.sessMu.RLock()
+	n := len(v.sessions)
+	v.sessMu.RUnlock()
+	if n > maxSessions {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, maxSessions)
+	}
+}
+
+// TestVerifierConcurrentAdmit races many first verifications of one ticket:
+// all must succeed and the cache must end with a single shared entry.
+func TestVerifierConcurrentAdmit(t *testing.T) {
+	clk := clock.NewFake()
+	svc := NewService(clk)
+	key := svc.Enroll("p")
+	v := NewVerifier(svc.RealmKey(), clk)
+	payload := []byte("m")
+	ticket, sig := issueSigned(t, svc, "p", key, payload)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var macBuf [2 * sigSize]byte
+			if _, err := v.Verify("p", ticket, sig, payload, macBuf[:0]); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	v.sessMu.RLock()
+	n := len(v.sessions)
+	v.sessMu.RUnlock()
+	if n != 1 {
+		t.Fatalf("sessions cached = %d, want 1", n)
+	}
+}
+
+// TestVerifyFastPathAllocFree pins the tentpole property on the server
+// side: a cached-session Verify with caller-owned scratch performs zero
+// allocations.
+func TestVerifyFastPathAllocFree(t *testing.T) {
+	clk := clock.NewFake()
+	svc := NewService(clk)
+	key := svc.Enroll("p")
+	v := NewVerifier(svc.RealmKey(), clk)
+	payload := []byte("invoke open T2")
+	ticket, sig := issueSigned(t, svc, "p", key, payload)
+	if _, err := v.Verify("p", ticket, sig, payload, nil); err != nil {
+		t.Fatal(err) // admit outside the measured loop
+	}
+	var macBuf [2 * sigSize]byte
+	n := testing.AllocsPerRun(200, func() {
+		if _, err := v.Verify("p", ticket, sig, payload, macBuf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("steady-state Verify allocates %.1f/op, want 0", n)
+	}
+}

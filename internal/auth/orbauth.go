@@ -1,6 +1,8 @@
 package auth
 
 import (
+	"crypto/cipher"
+	"sync"
 	"time"
 
 	"itv/internal/clock"
@@ -22,6 +24,7 @@ type Signer struct {
 	mu         chan struct{} // 1-token semaphore; avoids lock-ordering issues with fetch
 	ticket     []byte
 	sessionKey []byte
+	ms         macState // precomputed HMAC pads for sessionKey
 	expires    time.Time
 }
 
@@ -34,8 +37,11 @@ func NewSigner(principal string, key []byte, clk clock.Clock,
 	return s
 }
 
-// Sign implements orb.Authenticator.
-func (s *Signer) Sign(payload []byte) (string, []byte, []byte, error) {
+// Sign implements orb.Authenticator.  The signature is appended to sigBuf
+// (callers pass a reset per-request scratch slice, making the steady state
+// allocation-free); the returned ticket stays valid across a concurrent
+// refresh — refresh replaces the slice, it never mutates an issued one.
+func (s *Signer) Sign(payload, sigBuf []byte) (string, []byte, []byte, error) {
 	<-s.mu
 	defer func() { s.mu <- struct{}{} }()
 	// Refresh with a minute of slack so a ticket never expires mid-flight.
@@ -50,25 +56,44 @@ func (s *Signer) Sign(payload []byte) (string, []byte, []byte, error) {
 		}
 		s.ticket = sealedTicket
 		s.sessionKey = sk
+		s.ms.init(sk)
 		// The client cannot read the sealed ticket's expiry; track a local
 		// conservative estimate (the service's TTL is at least this).
 		s.expires = s.clk.Now().Add(30 * time.Minute)
 	}
-	return s.principal, s.ticket, sign(s.sessionKey, payload), nil
+	return s.principal, s.ticket, s.ms.appendSum(sigBuf, payload), nil
 }
 
 // Verify on a Signer rejects everything: client endpoints do not serve
 // authenticated objects.  Servers use a Verifier.
-func (s *Signer) Verify(string, []byte, []byte, []byte) (string, error) {
+func (s *Signer) Verify(string, []byte, []byte, []byte, []byte) (string, error) {
 	return "", ErrBadTicket
 }
 
+// session is one verified ticket's cached state: the parsed identity plus
+// the precomputed HMAC pads for its session key, so repeat calls skip the
+// unseal/parse entirely and share one immutable state.
+type session struct {
+	principal string
+	expires   int64 // unix seconds, from inside the sealed ticket
+	ms        macState
+}
+
+// maxSessions bounds the Verifier's ticket cache.  At one entry per live
+// principal talking to this server the bound is generous; overflow evicts
+// an arbitrary entry, which at worst costs that caller one re-unseal.
+const maxSessions = 1024
+
 // Verifier implements orb.Authenticator for servers: it unseals tickets
 // with the realm key and checks each call's HMAC under the ticket's
-// session key.
+// session key.  Tickets verify once; repeat calls hit a bounded cache
+// keyed by the sealed ticket bytes, so the steady state does no AES and
+// allocates nothing.
 type Verifier struct {
 	realmKey []byte
 	clk      clock.Clock
+	aead     cipher.AEAD // realm-key AEAD, built once (nil for an invalid key)
+	realmMS  macState    // precomputed HMAC pads for the realm key
 	// AllowAnonymous admits unsigned calls as principal "" when true; the
 	// auth service endpoint itself runs this way so the ticket-granting
 	// exchange can bootstrap.
@@ -76,15 +101,26 @@ type Verifier struct {
 	// Name is the principal this server asserts on its own outgoing
 	// realm-signed calls (informational; the realm signature authenticates).
 	Name string
+
+	sessMu   sync.RWMutex
+	sessions map[string]*session // by sealed ticket bytes
 }
 
 // NewVerifier builds a server-side verifier from the realm key.
 func NewVerifier(realmKey []byte, clk clock.Clock) *Verifier {
-	return &Verifier{realmKey: realmKey, clk: clk}
+	v := &Verifier{realmKey: realmKey, clk: clk,
+		sessions: make(map[string]*session)}
+	v.realmMS.init(realmKey)
+	if aead, err := newGCM(realmKey); err == nil {
+		v.aead = aead
+	}
+	return v
 }
 
-// Verify implements orb.Authenticator.
-func (v *Verifier) Verify(principal string, ticket, sig, payload []byte) (string, error) {
+// Verify implements orb.Authenticator.  macBuf is caller-owned scratch the
+// expected signature is staged in (the dispatch path passes per-worker
+// scratch so verification allocates nothing in steady state).
+func (v *Verifier) Verify(principal string, ticket, sig, payload, macBuf []byte) (string, error) {
 	if len(ticket) == 0 && len(sig) == 0 {
 		if v.AllowAnonymous {
 			return "", nil
@@ -94,39 +130,89 @@ func (v *Verifier) Verify(principal string, ticket, sig, payload []byte) (string
 	if len(ticket) == 0 {
 		// Realm-signed server-to-server call: signed directly under the
 		// realm key, no ticket needed inside the trusted server set.
-		if !hmacEqual(sign(v.realmKey, payload), sig) {
+		if !hmacEqual(v.realmMS.appendSum(macBuf, payload), sig) {
 			return "", ErrBadSignature
 		}
 		return principal, nil
 	}
-	pt, err := Open(v.realmKey, ticket)
+	s := v.session(ticket)
+	if s == nil {
+		var err error
+		if s, err = v.admitSession(ticket); err != nil {
+			return "", err
+		}
+	}
+	if s.principal != principal {
+		return "", ErrBadTicket
+	}
+	if v.clk.Now().Unix() > s.expires {
+		v.sessMu.Lock()
+		delete(v.sessions, string(ticket))
+		v.sessMu.Unlock()
+		return "", ErrExpiredTicket
+	}
+	if !hmacEqual(s.ms.appendSum(macBuf, payload), sig) {
+		return "", ErrBadSignature
+	}
+	return s.principal, nil
+}
+
+// session returns the cached state for a sealed ticket, or nil.  The
+// map index with an in-place string conversion is the allocation-free
+// fast path every steady-state signed call takes.
+func (v *Verifier) session(ticket []byte) *session {
+	v.sessMu.RLock()
+	s := v.sessions[string(ticket)]
+	v.sessMu.RUnlock()
+	return s
+}
+
+// admitSession unseals and parses a ticket not yet in the cache, caching
+// the result.  This is the once-per-ticket slow path; ticket (which
+// aliases a frame buffer) is copied by the map-key conversion, never
+// retained.
+func (v *Verifier) admitSession(ticket []byte) (*session, error) {
+	if v.aead == nil {
+		return nil, ErrBadTicket
+	}
+	ns := v.aead.NonceSize()
+	if len(ticket) < ns {
+		return nil, ErrBadTicket
+	}
+	pt, err := v.aead.Open(nil, ticket[:ns], ticket[ns:], nil)
 	if err != nil {
-		return "", err
+		return nil, ErrBadTicket
 	}
 	var t Ticket
 	if err := unmarshalTicket(pt, &t); err != nil {
-		return "", err
+		return nil, err
 	}
-	if t.Principal != principal {
-		return "", ErrBadTicket
+	s := &session{principal: t.Principal, expires: t.Expires}
+	s.ms.init(t.SessionKey)
+	v.sessMu.Lock()
+	if cached, ok := v.sessions[string(ticket)]; ok {
+		s = cached // a concurrent admit won; share its state
+	} else {
+		if len(v.sessions) >= maxSessions {
+			for k := range v.sessions {
+				delete(v.sessions, k)
+				break
+			}
+		}
+		v.sessions[string(ticket)] = s
 	}
-	if v.clk.Now().Unix() > t.Expires {
-		return "", ErrExpiredTicket
-	}
-	want := sign(t.SessionKey, payload)
-	if !hmacEqual(want, sig) {
-		return "", ErrBadSignature
-	}
-	return t.Principal, nil
+	v.sessMu.Unlock()
+	return s, nil
 }
 
 // Sign on a Verifier produces a realm-signed call: server-to-server calls
 // are signed directly under the realm key, so every call in the system is
 // signed by default (§3.3) without per-pair tickets inside the server set.
-func (v *Verifier) Sign(payload []byte) (string, []byte, []byte, error) {
+// Like Signer.Sign, the signature is appended to the caller's sigBuf.
+func (v *Verifier) Sign(payload, sigBuf []byte) (string, []byte, []byte, error) {
 	name := v.Name
 	if name == "" {
 		name = "server"
 	}
-	return name, nil, sign(v.realmKey, payload), nil
+	return name, nil, v.realmMS.appendSum(sigBuf, payload), nil
 }

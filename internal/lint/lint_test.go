@@ -112,6 +112,7 @@ func TestGolden(t *testing.T) {
 		{"checks/suppress", "sleepyclock"},
 		{"checks/suppress_node", "sleepyclock"},
 		{"checks/poolown", "poolown"},
+		{"checks/poolown_sign", "poolown"},
 		{"internal/ctxflow", "ctxflow"},
 		{"checks/lockorder", "lockorder"},
 		{"checks/generics", "poolown,ctxflow,lockorder"},

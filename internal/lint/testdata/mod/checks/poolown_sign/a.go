@@ -1,0 +1,80 @@
+package poolownsign
+
+// Signed-path pool pair, shaped like internal/auth's pooled HMAC scratch:
+// a package-level getDigest/putDigest pair (recognized by the same naming
+// convention as the wire pools) whose value is borrowed for the span of
+// one signature computation and must be returned on every path.
+
+type digest struct{ state [8]byte }
+
+func (d *digest) reset()              {}
+func (d *digest) write(p []byte)      {}
+func (d *digest) sum(b []byte) []byte { return b }
+
+func getDigest() *digest  { return &digest{} }
+func putDigest(d *digest) {}
+
+type macPads struct{ ipad, opad [64]byte }
+
+// ---- negative: the shapes the real signed path uses ----
+
+// appendSum is the canonical shape: borrow once, two digest passes, one
+// release before the single return.
+func appendSum(ms *macPads, sigBuf, payload []byte) []byte {
+	d := getDigest()
+	d.write(ms.ipad[:])
+	d.write(payload)
+	inner := d.sum(sigBuf)
+	d.reset()
+	d.write(ms.opad[:])
+	d.write(inner[len(sigBuf):])
+	out := d.sum(sigBuf)
+	putDigest(d)
+	return out
+}
+
+// okDeferredRelease mirrors a verify path that releases via defer so early
+// error returns stay clean.
+func okDeferredRelease(ok bool, payload []byte) []byte {
+	d := getDigest()
+	defer putDigest(d)
+	d.write(payload)
+	if !ok {
+		return nil
+	}
+	return d.sum(nil)
+}
+
+// ---- positive: the regressions the analyzer must catch ----
+
+// signLeakOnErrPath forgets the digest when the ticket check fails — the
+// classic bug a hand-released pool invites.
+func signLeakOnErrPath(ok bool, payload []byte) []byte {
+	d := getDigest() // want "not released on every path"
+	d.write(payload)
+	if !ok {
+		return nil
+	}
+	out := d.sum(nil)
+	putDigest(d)
+	return out
+}
+
+func signNeverReleases(payload []byte) {
+	d := getDigest() // want "never released"
+	d.write(payload)
+}
+
+func sumAfterRelease(payload []byte) []byte {
+	d := getDigest()
+	d.write(payload)
+	putDigest(d)
+	return d.sum(nil) // want "used after release"
+}
+
+func verifyDoubleRelease(payload []byte) {
+	d := getDigest()
+	d.write(payload)
+	putDigest(d)
+	putDigest(d) // want "released twice"
+}

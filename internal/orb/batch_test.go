@@ -1,0 +1,422 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"itv/internal/transport"
+	"itv/internal/wire"
+)
+
+// Tests for the write-path frame coalescer (framewriter.go, DESIGN.md §12):
+// batching under a blocked write, error propagation out of a mid-batch
+// failure on both the copy and vectored paths, the flush / connection-close
+// race, a caller timing out while its frame is still queued, and a canary
+// that frames survive the encoder's return to the pool uncorrupted.
+
+// testMsg is a minimal wire.Marshaler for building frames directly.
+type testMsg string
+
+func (m testMsg) MarshalWire(e *wire.Encoder) { e.PutString(string(m)) }
+
+func mustFrame(t *testing.T, payload string) *wire.Encoder {
+	t.Helper()
+	fe, err := encodeFrame(testMsg(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fe
+}
+
+// scriptConn is a net.Conn whose Write is supplied by the test.  The
+// frameWriter never reads, so Read just blocks until Close.
+type scriptConn struct {
+	onWrite func(p []byte) (int, error)
+	done    chan struct{}
+	once    sync.Once
+}
+
+func newScriptConn(onWrite func(p []byte) (int, error)) *scriptConn {
+	return &scriptConn{onWrite: onWrite, done: make(chan struct{})}
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) { return c.onWrite(p) }
+func (c *scriptConn) Read(p []byte) (int, error) {
+	<-c.done
+	return 0, net.ErrClosed
+}
+func (c *scriptConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+func (c *scriptConn) LocalAddr() net.Addr                { return nil }
+func (c *scriptConn) RemoteAddr() net.Addr               { return nil }
+func (c *scriptConn) SetDeadline(t time.Time) error      { return nil }
+func (c *scriptConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestFrameWriterCoalesces pins the core batching behavior: frames sent
+// while a write is in flight leave in ONE combined write when it returns,
+// in arrival order.
+func TestFrameWriterCoalesces(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var writes [][]byte
+	first := true
+	conn := newScriptConn(func(p []byte) (int, error) {
+		mu.Lock()
+		writes = append(writes, append([]byte(nil), p...))
+		blockThis := first
+		first = false
+		mu.Unlock()
+		if blockThis {
+			close(started)
+			<-release
+		}
+		return len(p), nil
+	})
+	fw := &frameWriter{conn: conn}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fw.send(mustFrame(t, "frame-A")) // becomes the flusher, blocks in Write
+	}()
+	<-started
+
+	// Queued behind the in-flight write; both sends return immediately.
+	wantB := mustFrame(t, "frame-B")
+	bBytes := append([]byte(nil), wantB.Bytes()...)
+	fw.send(wantB)
+	wantC := mustFrame(t, "frame-C")
+	cBytes := append([]byte(nil), wantC.Bytes()...)
+	fw.send(wantC)
+
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(writes) != 2 {
+		t.Fatalf("got %d writes, want 2 (one blocked, one coalesced)", len(writes))
+	}
+	if want := append(bBytes, cBytes...); !bytes.Equal(writes[1], want) {
+		t.Fatalf("coalesced write mismatch:\n got %x\nwant %x", writes[1], want)
+	}
+}
+
+// TestFrameWriterErrorMidBatch covers a failed coalesced write on the copy
+// path: the error reaches onErr exactly once per failed flush and send
+// still returns (the queue drains; frames are not stranded).
+func TestFrameWriterErrorMidBatch(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	bang := errors.New("wire cut")
+	var mu sync.Mutex
+	nwrites := 0
+	conn := newScriptConn(func(p []byte) (int, error) {
+		mu.Lock()
+		nwrites++
+		n := nwrites
+		mu.Unlock()
+		if n == 1 {
+			close(started)
+			<-release
+			return len(p), nil
+		}
+		return 0, bang
+	})
+	var errMu sync.Mutex
+	var got []error
+	fw := &frameWriter{conn: conn, onErr: func(err error) {
+		errMu.Lock()
+		got = append(got, err)
+		errMu.Unlock()
+	}}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fw.send(mustFrame(t, "frame-A"))
+	}()
+	<-started
+	fw.send(mustFrame(t, "frame-B"))
+	fw.send(mustFrame(t, "frame-C"))
+	close(release)
+	wg.Wait()
+
+	errMu.Lock()
+	defer errMu.Unlock()
+	if len(got) != 1 || !errors.Is(got[0], bang) {
+		t.Fatalf("onErr calls = %v, want exactly one wrapping %v", got, bang)
+	}
+}
+
+// TestFrameWriterVectoredPartialWrite drives a batch past flushCopyLimit so
+// it takes the net.Buffers path, fails the write partway through the
+// buffer list, and checks the error propagates and the retained buffer
+// views are dropped (the encoders go back to the pool; a held view would
+// alias recycled memory).
+func TestFrameWriterVectoredPartialWrite(t *testing.T) {
+	big := string(bytes.Repeat([]byte("x"), flushCopyLimit)) // one frame alone exceeds the copy limit
+	started := make(chan struct{})
+	release := make(chan struct{})
+	bang := errors.New("wire cut")
+	var mu sync.Mutex
+	nwrites := 0
+	conn := newScriptConn(func(p []byte) (int, error) {
+		mu.Lock()
+		nwrites++
+		n := nwrites
+		mu.Unlock()
+		switch n {
+		case 1:
+			close(started)
+			<-release
+			return len(p), nil
+		case 2:
+			// First buffer of the vectored batch lands...
+			return len(p), nil
+		default:
+			// ...the second hits the severed wire.
+			return 0, bang
+		}
+	})
+	var errMu sync.Mutex
+	var got []error
+	fw := &frameWriter{conn: conn, onErr: func(err error) {
+		errMu.Lock()
+		got = append(got, err)
+		errMu.Unlock()
+	}}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fw.send(mustFrame(t, "frame-A"))
+	}()
+	<-started
+	fw.send(mustFrame(t, big))
+	fw.send(mustFrame(t, big))
+	close(release)
+	wg.Wait()
+
+	errMu.Lock()
+	if len(got) != 1 || !errors.Is(got[0], bang) {
+		t.Fatalf("onErr calls = %v, want exactly one wrapping %v", got, bang)
+	}
+	errMu.Unlock()
+
+	// Whitebox: the vectored scratch must not retain frame-buffer views
+	// past the flush — those buffers belong to the pool again.
+	fw.mu.Lock()
+	held := fw.vecs[:cap(fw.vecs)]
+	for i, v := range held {
+		if v != nil {
+			t.Fatalf("vecs[%d] still holds a frame-buffer view after flush", i)
+		}
+	}
+	fw.mu.Unlock()
+}
+
+// TestFrameWriterCloseRace hammers send against a concurrent connection
+// close: every send must return (no deadlock, no panic) whether its write
+// won or lost the race.  Run with -race this also checks the flusher
+// hand-off is clean.
+func TestFrameWriterCloseRace(t *testing.T) {
+	for iter := 0; iter < 100; iter++ {
+		conn := newScriptConn(nil)
+		var closed sync.Map
+		conn.onWrite = func(p []byte) (int, error) {
+			if _, dead := closed.Load("x"); dead {
+				return 0, net.ErrClosed
+			}
+			return len(p), nil
+		}
+		fw := &frameWriter{conn: conn, onErr: func(error) { conn.Close() }}
+
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					fw.send(mustFrame(t, fmt.Sprintf("g%d-f%d", g, i)))
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			closed.Store("x", true)
+			conn.Close()
+		}()
+		wg.Wait()
+	}
+}
+
+// TestFrameWriterPoolCanary mirrors the PR3 pooling canaries for the write
+// path: many goroutines send distinct frames through one frameWriter while
+// flushes recycle the encoders; every frame must appear in the byte stream
+// exactly once and uncorrupted.  A frameWriter that released an encoder
+// before (or while) its bytes hit the wire fails this under load.
+func TestFrameWriterPoolCanary(t *testing.T) {
+	var mu sync.Mutex
+	var stream bytes.Buffer
+	conn := newScriptConn(func(p []byte) (int, error) {
+		mu.Lock()
+		stream.Write(p)
+		mu.Unlock()
+		return len(p), nil
+	})
+	fw := &frameWriter{conn: conn}
+
+	const goroutines, frames = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				fw.send(mustFrame(t, fmt.Sprintf("goroutine-%d-frame-%d", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[string]int)
+	rd := bytes.NewReader(stream.Bytes())
+	var dec wire.Decoder
+	for rd.Len() > 0 {
+		frame, err := wire.ReadFrame(rd)
+		if err != nil {
+			t.Fatalf("corrupt frame stream: %v", err)
+		}
+		dec.Reset(frame)
+		seen[dec.String()]++
+		if dec.Err() != nil {
+			t.Fatalf("corrupt frame payload: %v", dec.Err())
+		}
+	}
+	if len(seen) != goroutines*frames {
+		t.Fatalf("distinct frames on wire = %d, want %d", len(seen), goroutines*frames)
+	}
+	for payload, n := range seen {
+		if n != 1 {
+			t.Fatalf("frame %q appeared %d times, want exactly once", payload, n)
+		}
+	}
+}
+
+// gatedTransport wraps a memnet transport so the test can stall every
+// dialed connection's writes behind a gate.
+type gatedTransport struct {
+	transport.Transport
+	mu      sync.Mutex
+	gate    chan struct{} // non-nil: writes block until it closes
+	started chan struct{} // non-nil: signaled when a write begins blocking
+}
+
+func (g *gatedTransport) setGate(gate, started chan struct{}) {
+	g.mu.Lock()
+	g.gate, g.started = gate, started
+	g.mu.Unlock()
+}
+
+func (g *gatedTransport) Dial(addr string) (net.Conn, error) {
+	c, err := g.Transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedConn{Conn: c, t: g}, nil
+}
+
+type gatedConn struct {
+	net.Conn
+	t *gatedTransport
+}
+
+func (c *gatedConn) Write(p []byte) (int, error) {
+	c.t.mu.Lock()
+	gate, started := c.t.gate, c.t.started
+	c.t.mu.Unlock()
+	if gate != nil {
+		if started != nil {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+		}
+		<-gate
+	}
+	return c.Conn.Write(p)
+}
+
+// TestInvokeCtxCancelWhileQueued covers the caller's view of a queued
+// frame: goroutine A's write is stalled, B's frame queues behind it, and
+// B's context deadline fires while the frame is still waiting for the
+// flusher.  B must get the deadline error promptly; the connection must
+// stay healthy once the stall clears (B's late response is discarded by
+// the unregistered-waiter path, not delivered or leaked).
+func TestInvokeCtxCancelWhileQueued(t *testing.T) {
+	nw := transport.NewNetwork()
+	server, err := NewEndpoint(nw.Host("192.168.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	gt := &gatedTransport{Transport: nw.Host("10.1.0.5")}
+	client, err := NewEndpoint(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	skel := &echoSkel{}
+	ref := server.Register("", skel)
+
+	// Warm the connection while the gate is open.
+	if _, err := echo(t, client, ref, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	gt.setGate(gate, started)
+
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := echo(t, client, ref, "stalled")
+		aDone <- err
+	}()
+	<-started // A is the flusher, blocked in Write
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = client.InvokeCtx(ctx, ref, "echo",
+		func(e *wire.Encoder) { e.PutString("queued") },
+		func(d *wire.Decoder) error { _ = d.String(); return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued call got %v, want context.DeadlineExceeded", err)
+	}
+
+	gt.setGate(nil, nil)
+	close(gate)
+	if err := <-aDone; err != nil {
+		t.Fatalf("stalled call failed after gate opened: %v", err)
+	}
+	// The connection survived: B's frame was written late, its response
+	// discarded, and the next call proceeds normally.
+	if out, err := echo(t, client, ref, "after"); err != nil || out != "after" {
+		t.Fatalf("post-race call = %q, %v; want %q, nil", out, err, "after")
+	}
+}

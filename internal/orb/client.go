@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"itv/internal/obs"
@@ -12,30 +14,65 @@ import (
 	"itv/internal/wire"
 )
 
+// pendingShardCount is the number of shards the per-connection pending
+// map splits into: the next power of two at or above the core count
+// (capped at 64), computed once at startup.  Request ids index shards
+// round-robin, so 64-way concurrency spreads registration across that
+// many locks instead of serializing on one.
+var pendingShardCount = func() uint64 {
+	n := runtime.GOMAXPROCS(0)
+	c := uint64(1)
+	for c < uint64(n) && c < 64 {
+		c <<= 1
+	}
+	return c
+}()
+
+// pendingShard is one slice of a connection's pending-waiter map.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]*waiter
+}
+
 // clientConn is a pooled connection to one remote endpoint, multiplexing
-// concurrent requests by id.
+// concurrent requests by id.  Outgoing frames go through fw, which
+// coalesces concurrent writes (DESIGN.md §12); waiters register in
+// per-core shards so registration does not serialize under load.
 type clientConn struct {
 	conn net.Conn
 	m    *epMetrics
+	fw   frameWriter
 
-	// wenc is the request-frame scratch encoder, guarded by writeMu: the
-	// request marshals (header and payload in one owned buffer, see
-	// wire.AppendFrame) and writes under the same critical section, so one
-	// buffer serves every call on the connection.
-	writeMu sync.Mutex
-	wenc    wire.Encoder
+	nextID atomic.Uint64
+	shards []pendingShard
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]*waiter
-	dead    bool
-	err     error
+	dead  atomic.Bool
+	errMu sync.Mutex
+	err   error // first failure; guarded by errMu
 }
 
 func newClientConn(conn net.Conn, m *epMetrics) *clientConn {
-	cc := &clientConn{conn: conn, m: m, pending: make(map[uint64]*waiter)}
+	cc := &clientConn{conn: conn, m: m,
+		shards: make([]pendingShard, pendingShardCount)}
+	for i := range cc.shards {
+		cc.shards[i].m = make(map[uint64]*waiter)
+	}
+	cc.fw = frameWriter{conn: conn, m: m, onErr: cc.writeFailed}
 	go cc.readLoop()
 	return cc
+}
+
+// shardFor returns the pending shard a request id registers in.
+func (cc *clientConn) shardFor(id uint64) *pendingShard {
+	return &cc.shards[id&(pendingShardCount-1)]
+}
+
+// writeFailed is the frameWriter's error hook: a failed flush kills the
+// connection like a failed direct write always has.
+func (cc *clientConn) writeFailed(err error) {
+	if cc.fail(&ConnError{Op: "write", Err: err}) {
+		cc.m.writeErrors.Inc()
+	}
 }
 
 func (cc *clientConn) readLoop() {
@@ -67,10 +104,11 @@ func (cc *clientConn) readLoop() {
 			}
 			return
 		}
-		cc.mu.Lock()
-		w, ok := cc.pending[rf.resp.ReqID]
-		delete(cc.pending, rf.resp.ReqID)
-		cc.mu.Unlock()
+		sh := cc.shardFor(rf.resp.ReqID)
+		sh.mu.Lock()
+		w, ok := sh.m[rf.resp.ReqID]
+		delete(sh.m, rf.resp.ReqID)
+		sh.mu.Unlock()
 		if ok {
 			// Ownership of rf (and its frame buffer) passes to the waiter.
 			w.ch <- rf
@@ -84,20 +122,28 @@ func (cc *clientConn) readLoop() {
 // fail marks the connection dead and releases every waiter with err.  It
 // reports whether this call was the one that killed the connection; later
 // calls keep the first error and return false.
+//
+// Ordering protocol with registration: dead is set (CAS) before the
+// shards are swept, and roundTrip checks dead under the shard lock before
+// registering — so every waiter is either refused registration or found
+// by the sweep.  No waiter is stranded.
 func (cc *clientConn) fail(err error) bool {
-	cc.mu.Lock()
-	if cc.dead {
-		cc.mu.Unlock()
+	if !cc.dead.CompareAndSwap(false, true) {
 		return false
 	}
-	cc.dead = true
+	cc.errMu.Lock()
 	cc.err = err
-	pending := cc.pending
-	cc.pending = map[uint64]*waiter{}
-	cc.mu.Unlock()
+	cc.errMu.Unlock()
 	cc.conn.Close()
-	for _, w := range pending {
-		w.ch <- nil
+	for i := range cc.shards {
+		sh := &cc.shards[i]
+		sh.mu.Lock()
+		pending := sh.m
+		sh.m = make(map[uint64]*waiter)
+		sh.mu.Unlock()
+		for _, w := range pending {
+			w.ch <- nil
+		}
 	}
 	return true
 }
@@ -105,8 +151,8 @@ func (cc *clientConn) fail(err error) bool {
 // failure returns the error that killed the connection, or ErrUnreachable
 // if none was recorded.
 func (cc *clientConn) failure() error {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
+	cc.errMu.Lock()
+	defer cc.errMu.Unlock()
 	if cc.err != nil {
 		return cc.err
 	}
@@ -117,29 +163,29 @@ func (cc *clientConn) failure() error {
 // success the returned respFrame — response plus the borrowed frame buffer
 // its Body aliases — is owned by the caller, who must release it with
 // putRespFrame after decoding.
+//
+// The request is marshaled into an owned frame before the handoff to the
+// write path, so the caller may release req (and the buffers its fields
+// alias) as soon as roundTrip returns, even if the frame is still queued
+// behind an in-flight flush.
 func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*respFrame, error) {
 	w := getWaiter(timeout)
-	cc.mu.Lock()
-	if cc.dead {
-		err := cc.err
-		cc.mu.Unlock()
-		putWaiter(w, false)
-		return nil, err
-	}
-	cc.nextID++
-	id := cc.nextID
+	id := cc.nextID.Add(1)
 	req.ReqID = id
-	cc.pending[id] = w
-	cc.mu.Unlock()
-
-	cc.writeMu.Lock()
-	cc.wenc.Reset()
-	err := wire.AppendFrame(&cc.wenc, req)
-	if err == nil {
-		_, err = cc.conn.Write(cc.wenc.Bytes())
+	sh := cc.shardFor(id)
+	sh.mu.Lock()
+	if cc.dead.Load() {
+		sh.mu.Unlock()
+		putWaiter(w, false)
+		return nil, cc.failure()
 	}
-	cc.writeMu.Unlock()
+	sh.m[id] = w
+	sh.mu.Unlock()
+
+	fe, err := encodeFrame(req)
 	if err != nil {
+		// An unframeable request (over MaxFrameSize) has always killed the
+		// connection like a failed write; keep that contract.
 		werr := &ConnError{Op: "write", Err: err}
 		if cc.fail(werr) {
 			cc.m.writeErrors.Inc()
@@ -153,21 +199,24 @@ func (cc *clientConn) roundTrip(req *request, timeout time.Duration) (*respFrame
 		putWaiter(w, false)
 		return nil, werr
 	}
+	// Ownership of fe passes to the write path; a flush failure surfaces
+	// through writeFailed -> fail, which releases our waiter with nil.
+	cc.fw.send(fe)
 
 	select {
 	case rf := <-w.ch:
 		putWaiter(w, false)
 		if rf == nil {
-			// The read loop killed the connection; report its diagnosis,
-			// not a generic unreachable.
+			// The read loop (or a failed flush) killed the connection;
+			// report its diagnosis, not a generic unreachable.
 			return nil, cc.failure()
 		}
 		return rf, nil
 	case <-w.timer.C:
-		cc.mu.Lock()
-		_, present := cc.pending[id]
-		delete(cc.pending, id)
-		cc.mu.Unlock()
+		sh.mu.Lock()
+		_, present := sh.m[id]
+		delete(sh.m, id)
+		sh.mu.Unlock()
 		if !present {
 			// The read loop (or fail) claimed the waiter concurrently with
 			// the timeout; its delivery is in flight.  Take it so the
@@ -201,10 +250,7 @@ func (e *Endpoint) getConn(addr string) (*clientConn, error) {
 		return nil, ErrShutdown
 	}
 	if cc, ok := e.conns[addr]; ok {
-		cc.mu.Lock()
-		dead := cc.dead
-		cc.mu.Unlock()
-		if !dead {
+		if !cc.dead.Load() {
 			e.mu.Unlock()
 			e.metrics.poolHits.Inc()
 			return cc, nil
@@ -252,10 +298,7 @@ func (e *Endpoint) dialNew(addr string) (*clientConn, error) {
 		return nil, ErrShutdown
 	}
 	if existing, ok := e.conns[addr]; ok {
-		existing.mu.Lock()
-		dead := existing.dead
-		existing.mu.Unlock()
-		if !dead {
+		if !existing.dead.Load() {
 			// Another path established a connection first (e.g. a waiter's
 			// own retry); use it.
 			e.mu.Unlock()
@@ -359,7 +402,10 @@ func (e *Endpoint) invoke(ctx context.Context, ref oref.Ref, method string, put 
 	if a := e.authenticator(); a != nil {
 		se := wire.GetEncoder()
 		req.appendSigPayload(se)
-		principal, ticket, sig, err := a.Sign(se.Bytes())
+		// The signature lands in the pooled request's own scratch array, so
+		// steady-state signing allocates nothing; the ticket aliases a
+		// signer-owned slice that stays valid across refreshes.
+		principal, ticket, sig, err := a.Sign(se.Bytes(), req.sigScratch[:0])
 		wire.PutEncoder(se)
 		if err != nil {
 			putRequest(req)
@@ -418,13 +464,12 @@ func (e *Endpoint) invoke(ctx context.Context, ref oref.Ref, method string, put 
 }
 
 func (e *Endpoint) invokeLocal(ctx context.Context, ref oref.Ref, method string, put func(*wire.Encoder), get func(*wire.Decoder) error) error {
-	e.mu.Lock()
-	closed := e.closed
-	sk, ok := e.objects[ref.ObjectID]
-	e.mu.Unlock()
-	if closed {
+	// Lock-free dispatch lookup: the object table is published as a
+	// copy-on-write snapshot, so local calls never serialize on e.mu.
+	if e.closedFlag.Load() {
 		return ErrShutdown
 	}
+	sk, ok := e.objsnap.Load().lookup(ref.ObjectID)
 	if method == "_metrics" {
 		return e.metricsResult(get)
 	}

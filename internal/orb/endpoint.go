@@ -96,12 +96,22 @@ func (c *ServerCall) AdoptTrace(trace uint64) {
 // Authenticator hooks call signing into the endpoint; the auth package
 // provides the Kerberos-like implementation (§3.3).  A nil authenticator
 // sends and accepts unsigned calls.
+//
+// Both methods follow the DESIGN.md §9 caller-owned-buffer discipline so
+// the signed hot path allocates nothing: the caller provides the scratch,
+// the implementation appends into it.
 type Authenticator interface {
 	// Sign produces the principal, ticket and signature for an outgoing
-	// request whose signed payload is given.
-	Sign(payload []byte) (principal string, ticket, sig []byte, err error)
-	// Verify checks an incoming request, returning the verified principal.
-	Verify(principal string, ticket, sig, payload []byte) (string, error)
+	// request whose signed payload is given.  sig is appended to sigBuf
+	// (which the caller owns and reuses); ticket must remain valid until
+	// at least the implementation's next Sign call returns a different
+	// slice — the caller marshals it into a frame before the next call.
+	Sign(payload, sigBuf []byte) (principal string, ticket, sig []byte, err error)
+	// Verify checks an incoming request, returning the verified
+	// principal.  macBuf is caller-owned scratch for staging the expected
+	// signature; implementations must not retain it, nor ticket/sig/
+	// payload, which alias a frame buffer reused after the call.
+	Verify(principal string, ticket, sig, payload, macBuf []byte) (string, error)
 }
 
 // Stats counts endpoint activity; E5 (§7.2.1) aggregates these to measure
@@ -143,6 +153,13 @@ type Endpoint struct {
 	dialing map[string]*dialWait   // by remote addr; singleflight dials
 	serving map[net.Conn]struct{}
 	closed  bool
+
+	// Dispatch hot-path state, readable without e.mu: objsnap is a
+	// copy-on-write snapshot of objects republished on every Register/
+	// Unregister (rare), so concurrent dispatches never serialize on the
+	// endpoint lock; closedFlag mirrors closed for the same reason.
+	objsnap    atomic.Pointer[objTable]
+	closedFlag atomic.Bool
 
 	sent       atomic.Int64
 	received   atomic.Int64
@@ -189,9 +206,28 @@ func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint
 	}
 	e.callTimeout.Store(int64(10 * time.Second))
 	e.wireVer.Store(wireVersion)
+	e.republishObjects()
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e
+}
+
+// objTable is the immutable published view of an endpoint's object map.
+type objTable map[string]Skeleton
+
+func (t objTable) lookup(id string) (Skeleton, bool) {
+	sk, ok := t[id]
+	return sk, ok
+}
+
+// republishObjects snapshots e.objects into the lock-free dispatch view.
+// Callers hold e.mu (newEndpoint being the only pre-publication caller).
+func (e *Endpoint) republishObjects() {
+	t := make(objTable, len(e.objects))
+	for id, sk := range e.objects {
+		t[id] = sk
+	}
+	e.objsnap.Store(&t)
 }
 
 // SetAuthenticator installs the call-signing hook.  It may be called after
@@ -271,6 +307,7 @@ func (e *Endpoint) Register(objectID string, sk Skeleton) oref.Ref {
 		panic(fmt.Sprintf("orb: duplicate object id %q", objectID))
 	}
 	e.objects[objectID] = sk
+	e.republishObjects()
 	return oref.Ref{Addr: e.addr, Incarnation: e.incarnation, TypeID: typeID, ObjectID: objectID}
 }
 
@@ -279,6 +316,7 @@ func (e *Endpoint) Register(objectID string, sk Skeleton) oref.Ref {
 func (e *Endpoint) Unregister(objectID string) {
 	e.mu.Lock()
 	delete(e.objects, objectID)
+	e.republishObjects()
 	e.mu.Unlock()
 }
 
@@ -303,6 +341,7 @@ func (e *Endpoint) Close() {
 		return
 	}
 	e.closed = true
+	e.closedFlag.Store(true)
 	ln := e.ln
 	conns := make([]*clientConn, 0, len(e.conns))
 	for _, c := range e.conns {
@@ -362,13 +401,14 @@ func (e *Endpoint) acceptLoop() {
 // calls queued behind it.
 const residentWorkers = 4
 
-// connServer is the serving state of one accepted connection.
+// connServer is the serving state of one accepted connection.  Response
+// frames go out through fw, which coalesces concurrent workers' writes
+// exactly like the client side (DESIGN.md §12).
 type connServer struct {
 	e      *Endpoint
 	conn   net.Conn
 	remote string // RemoteAddr, computed once per connection
-
-	writeMu sync.Mutex
+	fw     frameWriter
 
 	work     chan *serverReq
 	inflight atomic.Int32
@@ -388,6 +428,8 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 		remote: conn.RemoteAddr().String(),
 		work:   make(chan *serverReq, residentWorkers),
 	}
+	// A failed response flush severs the connection; the client re-dials.
+	srv.fw = frameWriter{conn: conn, m: e.metrics, onErr: func(error) { conn.Close() }}
 	// Closing work releases the resident workers; they drain any queued
 	// requests first (their response writes fail fast on the closed conn).
 	defer close(srv.work)
@@ -449,22 +491,21 @@ func (srv *connServer) worker() {
 	}
 }
 
-// handleOne executes one request and writes its response frame, reusing
-// the given scratch for dispatch and encoding.
+// handleOne executes one request and hands its response frame to the
+// connection's write path, reusing the given scratch for dispatch and
+// encoding.  The frame is marshaled into an owned pooled encoder before
+// the handoff, so the scratch (which the response body aliases) is free
+// for the worker's next request even while the frame waits on a flush.
 func (srv *connServer) handleOne(sr *serverReq, s *callScratch) {
 	srv.e.handleInto(&sr.req, srv.remote, s)
 	// Stamp the reply with this node's HLC — one site covers every response
 	// path, so the caller's clock couples to ours on every round trip.
 	s.resp.HLC = uint64(srv.e.hlc.Now())
-	s.wenc.Reset()
-	err := wire.AppendFrame(&s.wenc, &s.resp)
-	if err == nil {
-		srv.writeMu.Lock()
-		_, err = srv.conn.Write(s.wenc.Bytes())
-		srv.writeMu.Unlock()
-	}
+	fe, err := encodeFrame(&s.resp)
 	if err != nil {
-		srv.conn.Close()
+		srv.conn.Close() // an unframeable response severs the connection
+	} else {
+		srv.fw.send(fe)
 	}
 	srv.inflight.Add(-1)
 	putServerReq(sr)
@@ -500,7 +541,9 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	if a := e.authenticator(); a != nil {
 		se := wire.GetEncoder()
 		req.appendSigPayload(se)
-		principal, err := a.Verify(req.Principal, req.Ticket, req.Sig, se.Bytes())
+		// The expected signature stages in the scratch's own array, so
+		// steady-state verification allocates nothing.
+		principal, err := a.Verify(req.Principal, req.Ticket, req.Sig, se.Bytes(), s.macBuf[:0])
 		wire.PutEncoder(se)
 		if err != nil {
 			resp.Status = statusApp
@@ -513,14 +556,14 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 		caller.Principal = req.Principal
 	}
 
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	// Lock-free dispatch lookup: the object table is published as a
+	// copy-on-write snapshot, so concurrent connections (and the resident
+	// workers within one) never serialize on e.mu to find their target.
+	if e.closedFlag.Load() {
 		resp.Status = statusShutdown
 		return
 	}
-	sk, ok := e.objects[req.ObjectID]
-	e.mu.Unlock()
+	sk, ok := e.objsnap.Load().lookup(req.ObjectID)
 
 	// Built-in metrics scrape: a node property, not an object property, so
 	// it answers before incarnation and object-id validation — scrapers

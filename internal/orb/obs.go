@@ -27,6 +27,12 @@ type epMetrics struct {
 	writeErrors  *obs.Counter
 	callTimeouts *obs.Counter
 
+	// Frame-coalescing activity (DESIGN.md §12): how often a flush found
+	// more than one frame queued, and how many frames those batches
+	// carried.  batchedFrames/batchedWrites is the mean batch depth.
+	batchedWrites *obs.Counter
+	batchedFrames *obs.Counter
+
 	dispatches  *obs.Counter
 	appErrors   *obs.Counter
 	invalidRefs *obs.Counter
@@ -65,6 +71,8 @@ func newEpMetrics(host string) *epMetrics {
 		decodeErrors:   r.Counter("orb_conn_decode_errors"),
 		writeErrors:    r.Counter("orb_conn_write_errors"),
 		callTimeouts:   r.Counter("orb_call_timeouts"),
+		batchedWrites:  r.Counter("orb_conn_batched_writes"),
+		batchedFrames:  r.Counter("orb_conn_batched_frames"),
 		dispatches:     r.Counter("orb_server_dispatches"),
 		appErrors:      r.Counter("orb_server_app_errors"),
 		invalidRefs:    r.Counter("orb_server_invalid_refs"),

@@ -88,15 +88,17 @@ func putRequest(r *request) {
 
 // callScratch is everything one server-side dispatch (or local
 // short-circuit dispatch) needs: the ServerCall with its argument decoder
-// and result encoder, the response record, and the frame encoder the
-// response is written from.  A resident connection worker holds one for its
-// lifetime; overflow dispatches borrow one from the pool.
+// and result encoder, the response record, and the signature-verification
+// scratch.  A resident connection worker holds one for its lifetime;
+// overflow dispatches borrow one from the pool.  (The response frame is
+// marshaled into a pooled encoder owned by the write path, not here — see
+// handleOne — so the scratch is reusable while the frame awaits a flush.)
 type callScratch struct {
 	call    ServerCall
 	args    wire.Decoder
 	results wire.Encoder
 	resp    response
-	wenc    wire.Encoder
+	macBuf  [64]byte // Authenticator.Verify staging; fixed-size, never escapes
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -116,8 +118,7 @@ func putScratch(s *callScratch) {
 	s.args.Reset(nil)
 	s.results.Reset()
 	s.resp.reset()
-	s.wenc.Reset()
-	if !wire.CapOK(s.results.Cap()) || !wire.CapOK(s.wenc.Cap()) {
+	if !wire.CapOK(s.results.Cap()) {
 		return // grown past the retention bound; let the GC have it
 	}
 	scratchPool.Put(s)

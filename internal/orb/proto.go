@@ -48,6 +48,13 @@ type request struct {
 	ParentSpanID uint64
 	Sampled      bool
 	HLC          uint64 // sender's hybrid-logical-clock reading (obs.HLCTime)
+
+	// sigScratch is the caller-owned buffer Authenticator.Sign appends the
+	// signature into (Sig then aliases it), sized for any HMAC the auth
+	// layer produces.  Not a wire field; it rides in the pooled request so
+	// signing allocates nothing.  Safe to recycle with the request: the
+	// frame encoder copied Sig before the request was released.
+	sigScratch [64]byte
 }
 
 func (r *request) MarshalWire(e *wire.Encoder) {
