@@ -14,11 +14,21 @@
 //	itv-admin events [host ...]               # merged cluster flight recorder
 //	itv-admin trace <trace-id> [host ...]     # one failover's causal timeline
 //	itv-admin watch [-once] [-interval 2s] [host ...]  # live RED dashboard (_health RPC)
+//	itv-admin slow [host ...]                 # per-node slow-call ledgers (_slow RPC)
+//	itv-admin profile [-seconds N] [-rate R] [-o file] <kind> <host>  # pull a pprof profile
 //
 // Cross-node timelines (events, trace) are merged in hybrid-logical-clock
 // order, not wall order, so they stay causally correct even when server
 // clocks disagree; pairs the clocks cannot order are marked "?~" using the
 // cluster's measured offset uncertainty.
+//
+// Tail-latency attribution (DESIGN.md §13): `metrics` and `watch` print a
+// live trace id next to each histogram's quantiles (the p99 exemplar),
+// `trace` resolves it to the cluster timeline, `slow` shows which calls
+// crossed the adaptive threshold and where their time went
+// (queue/service/flush), and `profile` pulls a runtime profile from the
+// blamed node.  Nodes that fail a scrape are rendered as explicit
+// UNREACHABLE rows with the connection error class, not silently skipped.
 package main
 
 import (
@@ -167,11 +177,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(text)
-		// Latency quantiles, interpolated from the histogram buckets above.
-		if sums := obs.SummarizeHistograms(obs.ParseText(text)); len(sums) > 0 {
-			fmt.Printf("\n%-44s %8s %8s %8s %8s\n", "HISTOGRAM", "COUNT", "P50", "P95", "P99")
+		// Latency quantiles, interpolated from the histogram buckets above,
+		// with the highest-bucket exemplar's trace id beside them — the
+		// sampled call an operator chasing the p99 resolves via `trace`.
+		samples := obs.ParseText(text)
+		exes := obs.ParseExemplars(samples)
+		if sums := obs.SummarizeHistograms(samples); len(sums) > 0 {
+			fmt.Printf("\n%-44s %8s %8s %8s %8s %18s\n", "HISTOGRAM", "COUNT", "P50", "P95", "P99", "TRACE")
 			for _, s := range sums {
-				fmt.Printf("%-44s %8d %8s %8s %8s\n", s.Name, s.Count, s.P50, s.P95, s.P99)
+				trace := "-"
+				if ex, ok := obs.TopExemplar(exes, s.Name); ok {
+					trace = fmt.Sprintf("%016x", ex.Trace)
+				}
+				fmt.Printf("%-44s %8d %8s %8s %8s %18s\n", s.Name, s.Count, s.P50, s.P95, s.P99, trace)
 			}
 		}
 
@@ -222,10 +240,13 @@ func main() {
 		clk := clock.Real()
 		for {
 			var reports []*obs.HealthReport
+			var down []string
 			for _, h := range hosts {
 				rep, err := ep.HealthOf(sscAddr(h), 0)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "health %s: %v\n", h, err)
+					// A dead node is part of the dashboard, not a footnote on
+					// stderr: show it as an explicit row with the failure class.
+					down = append(down, fmt.Sprintf("node %-15s UNREACHABLE (%s)", h, orb.ConnClass(err)))
 					continue
 				}
 				reports = append(reports, rep)
@@ -233,12 +254,63 @@ func main() {
 			if !*once {
 				fmt.Print("\x1b[H\x1b[2J") // clear screen, cursor home
 			}
+			for _, line := range down {
+				fmt.Println(line)
+			}
 			obs.RenderHealth(os.Stdout, reports, 24)
 			if *once {
 				return
 			}
 			clk.Sleep(*interval)
 		}
+
+	case "slow":
+		// Fan the built-in _slow scrape out across the cluster: each node's
+		// ledger of calls past its adaptive tail threshold, with the
+		// queue/service/flush split saying where the time went.
+		hosts, err := clusterHosts(sess, args[1:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range hosts {
+			rep, err := ep.SlowOf(sscAddr(h))
+			if err != nil {
+				fmt.Printf("node %-15s UNREACHABLE (%s)\n", h, orb.ConnClass(err))
+				continue
+			}
+			fmt.Printf("# node %s  tail-estimate %s  entries %d\n", h, rep.Estimate, len(rep.Calls))
+			obs.WriteSlowCalls(os.Stdout, rep.Calls)
+		}
+
+	case "profile":
+		// Pull a runtime profile from one node over the ORB (_profile RPC):
+		// cpu, heap, goroutine, mutex or block, written as pprof's gzipped
+		// protobuf for `go tool pprof`.
+		pf := flag.NewFlagSet("profile", flag.ExitOnError)
+		seconds := pf.Int("seconds", 5, "collection window for cpu/mutex/block profiles")
+		rate := pf.Int("rate", 0, "mutex fraction / block rate during collection (0 = default)")
+		out := pf.String("o", "", "output file (default <kind>.pb.gz)")
+		pf.Parse(args[1:])
+		rest := pf.Args()
+		if len(rest) < 2 {
+			log.Fatal("usage: profile [-seconds N] [-rate R] [-o file] <cpu|heap|goroutine|mutex|block> <host>")
+		}
+		kind, host := rest[0], rest[1]
+		// Timed collections run synchronously inside the first call; give the
+		// round trip room beyond the collection window.
+		ep.SetCallTimeout(time.Duration(*seconds)*time.Second + 30*time.Second)
+		data, err := ep.ProfileOf(sscAddr(host), kind, *seconds, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := *out
+		if name == "" {
+			name = kind + ".pb.gz"
+		}
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s profile of %s: %d bytes -> %s\n", kind, host, len(data), name)
 
 	case "move":
 		if len(args) < 3 {
@@ -288,8 +360,8 @@ func scrapeEvents(ep *orb.Endpoint, hosts []string) [][]obs.Event {
 		evs, err := ep.EventsOf(addr)
 		if err != nil {
 			// A down node is part of the story, not a reason to abort the
-			// scrape: note it and keep merging the survivors.
-			fmt.Fprintf(os.Stderr, "events %s: %v\n", addr, err)
+			// scrape: render it as an explicit row and keep merging survivors.
+			fmt.Printf("node %-15s UNREACHABLE (%s)\n", h, orb.ConnClass(err))
 			continue
 		}
 		lists = append(lists, evs)

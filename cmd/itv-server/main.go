@@ -61,6 +61,8 @@ func main() {
 		}, func(w io.Writer) {
 			h := obs.NodeHealth(host)
 			obs.RenderHealth(w, []*obs.HealthReport{h.Report(clock.Real().Now(), 0)}, 24)
+		}, func(w io.Writer) {
+			obs.WriteSlowCalls(w, obs.NodeSlowLedger(host).Calls())
 		})
 		if err != nil {
 			log.Fatalf("debug server: %v", err)

@@ -15,6 +15,8 @@ func record(rec *obs.Recorder, now time.Time) {
 	// negatives: the house convention, and computed names (out of scope).
 	rec.Record(now, 0, "ssc_object_death", "mms")
 	rec.Record(now, 1, "names_audit_evicted", "svc/mms")
+	rec.Record(now, 0, "slow_call_recorded", "mms.open q=1ms s=9ms f=10µs")
+	rec.Record(now, 1, "profile_collected", "kind=cpu bytes=4096")
 	name := "core_dynamic_event"
 	rec.Record(now, 0, name, "")
 }

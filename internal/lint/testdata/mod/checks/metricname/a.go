@@ -11,6 +11,8 @@ func register(r *obs.Registry) {
 	r.Counter("svc_calls_total")
 	r.Gauge("svc_queue_depth")
 	_ = obs.L("svc_peer_calls", "peer", "a")
+	r.Counter("slow_call_admitted")
+	_ = obs.L("profile_collects", "kind", "cpu")
 	name := "svc_dynamic_total"
 	r.Counter(name)
 }

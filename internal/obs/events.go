@@ -113,6 +113,23 @@ func (r *Recorder) Events() []Event {
 	return append(out, r.buf...)
 }
 
+// EventsAfter returns up to max events with Seq > afterSeq, oldest first
+// (max <= 0 means no limit) — the pagination primitive behind the _events
+// RPC, so a scraper can resume from the last Seq it saw instead of
+// re-reading the whole ring.  Events that fell off the ring before the
+// cursor are simply gone; the caller detects the gap by comparing the first
+// returned Seq against afterSeq+1.
+func (r *Recorder) EventsAfter(afterSeq uint64, max int) []Event {
+	all := r.Events()
+	i := sort.Search(len(all), func(i int) bool { return all[i].Seq > afterSeq })
+	out := all[i:]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	// Re-slice into a fresh backing array so callers never alias the ring copy.
+	return append(make([]Event, 0, len(out)), out...)
+}
+
 // ---- per-node recorders ----
 
 var (

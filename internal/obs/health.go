@@ -266,6 +266,18 @@ type methodRED struct {
 	calls   float64
 	errors  float64
 	samples []Sample // summed latency-bucket deltas
+	ex      ExemplarRef
+	exOK    bool
+}
+
+// noteExemplar keeps the highest-bucket exemplar seen for this method;
+// among equals the later window wins, so the trace shown is both the worst
+// and the freshest.
+func (r *methodRED) noteExemplar(ref ExemplarRef) {
+	if !r.exOK || (ref.Inf && !r.ex.Inf) || (ref.Inf == r.ex.Inf && ref.Bound >= r.ex.Bound) {
+		r.ex = ref
+		r.exOK = true
+	}
 }
 
 // RenderHealth writes the RED-style dashboard for a set of node reports:
@@ -303,6 +315,13 @@ func RenderHealth(w io.Writer, reports []*HealthReport, lastN int) {
 		for _, win := range wins {
 			for _, s := range win.Samples {
 				if s.Kind != KindCounter {
+					// Exemplar rows travel as gauges; attach each to its
+					// method so the dashboard can name a trace next to p99.
+					if ref, eok := splitExemplar(s.Name); eok {
+						if m, ok := methodOf(ref.Family, "orb_call_latency"); ok {
+							red(methods, m).noteExemplar(ref)
+						}
+					}
 					continue
 				}
 				if m, ok := methodOf(s.Name, "orb_call_latency"); ok {
@@ -330,7 +349,7 @@ func RenderHealth(w io.Writer, reports []*HealthReport, lastN int) {
 	if elapsed <= 0 {
 		elapsed = time.Second
 	}
-	fmt.Fprintf(w, "%-32s %8s %8s %10s %10s\n", "METHOD", "RATE/S", "ERR/S", "P50", "P99")
+	fmt.Fprintf(w, "%-32s %8s %8s %10s %10s %18s\n", "METHOD", "RATE/S", "ERR/S", "P50", "P99", "TRACE")
 	for _, name := range names {
 		m := methods[name]
 		sum := SummarizeHistograms(m.samples)
@@ -338,11 +357,16 @@ func RenderHealth(w io.Writer, reports []*HealthReport, lastN int) {
 		if len(sum) > 0 {
 			p50, p99 = sum[0].P50, sum[0].P99
 		}
-		fmt.Fprintf(w, "%-32s %8.2f %8.2f %10s %10s\n",
+		trace := "-"
+		if m.exOK {
+			trace = fmt.Sprintf("%016x", m.ex.Trace)
+		}
+		fmt.Fprintf(w, "%-32s %8.2f %8.2f %10s %10s %18s\n",
 			name,
 			m.calls/elapsed.Seconds(),
 			m.errors/elapsed.Seconds(),
-			p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			trace)
 	}
 }
 

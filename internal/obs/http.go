@@ -15,10 +15,11 @@ const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 // DebugHandler builds the opt-in debug surface: /metrics (sorted text
 // snapshot via metrics, also mounted at /debug/metrics), /debug/events (the
 // flight-recorder timeline via events, may be nil), /debug/health (the
-// windowed RED dashboard via health, may be nil), /healthz, and the pprof
-// family under /debug/pprof/.  The handler is mounted on its own mux so
-// nothing leaks into http.DefaultServeMux.
-func DebugHandler(metrics, events, health func(w io.Writer)) http.Handler {
+// windowed RED dashboard via health, may be nil), /debug/slow (the
+// slow-call ledger via slow, may be nil), /healthz, and the pprof family
+// under /debug/pprof/.  The handler is mounted on its own mux so nothing
+// leaks into http.DefaultServeMux.
+func DebugHandler(metrics, events, health, slow func(w io.Writer)) http.Handler {
 	mux := http.NewServeMux()
 	serveMetrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", MetricsContentType)
@@ -38,6 +39,12 @@ func DebugHandler(metrics, events, health func(w io.Writer)) http.Handler {
 			health(w)
 		})
 	}
+	if slow != nil {
+		mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			slow(w)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -53,12 +60,12 @@ func DebugHandler(metrics, events, health func(w io.Writer)) http.Handler {
 // ServeDebug listens on addr and serves the debug surface until the process
 // exits.  It returns the bound address (useful with ":0") or an error if
 // the listen fails; serving itself runs on a background goroutine.
-func ServeDebug(addr string, metrics, events, health func(w io.Writer)) (string, error) {
+func ServeDebug(addr string, metrics, events, health, slow func(w io.Writer)) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugHandler(metrics, events, health)}
+	srv := &http.Server{Handler: DebugHandler(metrics, events, health, slow)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

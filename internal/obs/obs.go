@@ -71,17 +71,58 @@ var DefaultLatencyBuckets = []time.Duration{
 	30 * time.Second,
 }
 
+// MicroLatencyBuckets resolves the microsecond range where queue-wait and
+// flush-wait live on the in-memory transport; DefaultLatencyBuckets' 50µs
+// floor would fold the whole server-side decomposition into one bucket.
+var MicroLatencyBuckets = []time.Duration{
+	time.Microsecond,
+	5 * time.Microsecond,
+	10 * time.Microsecond,
+	25 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// Exemplar ties one sampled observation to its causal trace: the trace ID,
+// the node's HLC at capture, the observed value, and — for server-side
+// observations — the queue/service/flush decomposition of where the time
+// went.  An exemplar turns a histogram bucket from a count into a lead: the
+// trace ID resolves through `itv-admin trace` to the cluster timeline of
+// the exact call that put it there.
+type Exemplar struct {
+	Trace   uint64
+	HLC     HLCTime
+	Value   time.Duration
+	Queue   time.Duration // accept -> worker pickup
+	Service time.Duration // handler execution
+	Flush   time.Duration // encode -> write, incl. coalescer budget wait
+}
+
 // Histogram is a fixed-bucket duration histogram.  Buckets are cumulative
-// in snapshots (le=bound), with a final implicit +Inf bucket.
+// in snapshots (le=bound), with a final implicit +Inf bucket.  Each bucket
+// additionally keeps one exemplar slot, populated only by sampled
+// observations via ObserveExemplar.
 type Histogram struct {
 	bounds []time.Duration
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	exes   []atomic.Pointer[Exemplar]
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 }
 
 func newHistogram(bounds []time.Duration) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+		exes:   make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one duration.
@@ -90,6 +131,36 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+}
+
+// ObserveExemplar records d and publishes ex as the exemplar of the bucket
+// d lands in.  The publish is one load plus one compare-and-swap with no
+// retry: a caller that loses the race drops its exemplar, because any
+// sampled observation is an equally good representative and last-writer-
+// wins needs no loop.  Unsampled callers must use Observe instead — taking
+// *Exemplar here keeps the allocation on the rare sampled side, so the hot
+// path stays allocation-free.
+func (h *Histogram) ObserveExemplar(d time.Duration, ex *Exemplar) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	if ex == nil || ex.Trace == 0 {
+		return
+	}
+	ex.Value = d
+	cur := h.exes[i].Load()
+	h.exes[i].CompareAndSwap(cur, ex)
+}
+
+// Exemplars returns the current per-bucket exemplars; index len(bounds) is
+// the +Inf bucket.  Entries are nil where no sampled observation landed.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exes))
+	for i := range h.exes {
+		out[i] = h.exes[i].Load()
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -188,6 +259,15 @@ func insertLabel(name, k, v string) string {
 		return name[:len(name)-1] + "," + k + "=" + v + "}"
 	}
 	return name + "{" + k + "=" + v + "}"
+}
+
+// suffixName inserts a suffix before the label block:
+// suffixName("x{a=1}", "_exemplar") -> "x_exemplar{a=1}".
+func suffixName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
 }
 
 // SampleKind classifies a snapshot row for windowed health sampling:
@@ -321,6 +401,28 @@ func (r *Registry) Snapshot() []Sample {
 			out = append(out, Sample{insertLabel(n, "le", "+Inf"), float64(cum), KindCounter})
 			out = append(out, Sample{n + "_count", float64(h.Count()), KindCounter})
 			out = append(out, Sample{n + "_sum_ms", float64(h.Sum()) / float64(time.Millisecond), KindCounter})
+			// Exemplar rows ride after the family: the bucket bound is
+			// labeled ub= (not le=) so bucket reassembly ignores them, and
+			// they snapshot as gauges (a trace ID is a level, not a rate)
+			// so health windows carry them through unchanged.
+			for i := range h.exes {
+				e := h.exes[i].Load()
+				if e == nil {
+					continue
+				}
+				ub := "+Inf"
+				if i < len(h.bounds) {
+					ub = h.bounds[i].String()
+				}
+				en := insertLabel(suffixName(n, "_exemplar"), "ub", ub)
+				en = insertLabel(en, "trace", fmt.Sprintf("%016x", e.Trace))
+				if e.Queue != 0 || e.Service != 0 || e.Flush != 0 {
+					en = insertLabel(en, "q", e.Queue.String())
+					en = insertLabel(en, "s", e.Service.String())
+					en = insertLabel(en, "f", e.Flush.String())
+				}
+				out = append(out, Sample{en, float64(e.Value) / float64(time.Millisecond), KindGauge})
+			}
 		}
 	}
 	r.mu.RUnlock()

@@ -193,7 +193,7 @@ func TestDebugServer(t *testing.T) {
 	rec.Record(time.Unix(5, 0), 0xabc, "test_event", "hello")
 	addr, err := ServeDebug("127.0.0.1:0", r.WriteText, func(w io.Writer) {
 		WriteEvents(w, rec.Events())
-	}, WriteAllHealth)
+	}, WriteAllHealth, WriteAllSlow)
 	if err != nil {
 		t.Fatalf("ServeDebug: %v", err)
 	}

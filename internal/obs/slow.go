@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The slow-call ledger answers "which call, and where did the time go" for
+// the latency tail.  Aggregate histograms show that a p99 exists; the
+// ledger keeps the identities: every call whose total latency exceeds an
+// adaptive threshold lands in a per-node ring with its method, peer, trace
+// ID, HLC stamp and queue/service/flush decomposition.  Admission is two
+// atomics and a branch on the fast path — the ring mutex is only touched
+// by calls that are already slow.
+
+// DefaultSlowRing is the per-node ledger capacity.
+const DefaultSlowRing = 128
+
+// DefaultSlowFloor is the minimum admission threshold: calls faster than
+// this are never ledgered no matter how tight the node's latency estimate
+// gets, so a healthy microsecond-scale node doesn't ledger its own noise.
+const DefaultSlowFloor = 250 * time.Microsecond
+
+// slowMultShift: a call is slow when it exceeds the tail estimate << 2,
+// i.e. four times the asymmetric-EWMA tracked tail.
+const slowMultShift = 2
+
+// SlowCall is one ledgered invocation.
+type SlowCall struct {
+	Seq       uint64
+	Time      time.Time
+	HLC       HLCTime
+	Node      string
+	Trace     uint64 // 0 when the call was unsampled
+	Method    string
+	Peer      string
+	Total     time.Duration
+	Queue     time.Duration
+	Service   time.Duration
+	Flush     time.Duration
+	Threshold time.Duration // admission threshold at capture time
+}
+
+// SlowLedger is a per-node ring of slow calls with an adaptive admission
+// threshold.  Note is safe for concurrent use and allocation-free; Record
+// takes the ring mutex but only runs for admitted (already slow) calls.
+type SlowLedger struct {
+	node  string
+	floor atomic.Int64 // minimum threshold, ns
+	est   atomic.Int64 // asymmetric-EWMA tail estimate, ns
+
+	mu   sync.Mutex
+	buf  []SlowCall
+	next int
+	seq  uint64
+	max  int
+}
+
+// NewSlowLedger returns a ledger holding up to size calls.
+func NewSlowLedger(node string, size int) *SlowLedger {
+	if size < 1 {
+		size = 1
+	}
+	l := &SlowLedger{node: node, max: size}
+	l.floor.Store(int64(DefaultSlowFloor))
+	return l
+}
+
+// SetFloor replaces the minimum admission threshold.
+func (l *SlowLedger) SetFloor(d time.Duration) { l.floor.Store(int64(d)) }
+
+// Estimate returns the current tail estimate.
+func (l *SlowLedger) Estimate() time.Duration { return time.Duration(l.est.Load()) }
+
+// Note feeds one call's total latency to the admission filter and reports
+// the threshold in force and whether the call should be ledgered.  The
+// estimator is an asymmetric EWMA that chases the tail: it rises fast
+// (1/8 of the gap per slower-than-estimate call) and decays slowly (1/1024
+// per faster call), so it tracks roughly the upper tail rather than the
+// mean, and the threshold — estimate ×4, floored — self-scales with the
+// node's normal latency.  The update is one load, one CAS, no retry: a
+// lost race drops one sample of a statistical estimator, which is free.
+func (l *SlowLedger) Note(total time.Duration) (threshold time.Duration, slow bool) {
+	t := int64(total)
+	e := l.est.Load()
+	var n int64
+	if t > e {
+		n = e + (t-e)>>3
+	} else {
+		n = e - e>>10
+	}
+	l.est.CompareAndSwap(e, n)
+	thr := e << slowMultShift
+	if f := l.floor.Load(); thr < f {
+		thr = f
+	}
+	return time.Duration(thr), t > thr
+}
+
+// Record appends one admitted call, assigning its Seq.  The zero Seq is
+// never issued.
+func (l *SlowLedger) Record(c SlowCall) {
+	c.Node = l.node
+	l.mu.Lock()
+	l.seq++
+	c.Seq = l.seq
+	if len(l.buf) < l.max {
+		l.buf = append(l.buf, c)
+	} else {
+		l.buf[l.next] = c
+	}
+	l.next++
+	if l.next >= l.max {
+		l.next = 0
+	}
+	l.mu.Unlock()
+}
+
+// Calls returns the ledgered calls, oldest first.
+func (l *SlowLedger) Calls() []SlowCall {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowCall, 0, len(l.buf))
+	if len(l.buf) < l.max {
+		out = append(out, l.buf...)
+		return out
+	}
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// ---- per-node ledgers ----
+
+var (
+	slowMu      sync.Mutex
+	slowLedgers = make(map[string]*SlowLedger)
+)
+
+// NodeSlowLedger returns the ledger for a host identity, creating it on
+// first use — the same per-node registry discipline as Node/NodeRecorder.
+func NodeSlowLedger(host string) *SlowLedger {
+	slowMu.Lock()
+	defer slowMu.Unlock()
+	l, ok := slowLedgers[host]
+	if !ok {
+		l = NewSlowLedger(host, DefaultSlowRing)
+		slowLedgers[host] = l
+	}
+	return l
+}
+
+// SlowHosts lists every node with a ledger, sorted.
+func SlowHosts() []string {
+	slowMu.Lock()
+	out := make([]string, 0, len(slowLedgers))
+	for h := range slowLedgers {
+		out = append(out, h)
+	}
+	slowMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// WriteSlowCalls renders ledger entries as one line per call.
+func WriteSlowCalls(w io.Writer, calls []SlowCall) {
+	for _, c := range calls {
+		trace := "-"
+		if c.Trace != 0 {
+			trace = fmt.Sprintf("%016x", c.Trace)
+		}
+		fmt.Fprintf(w, "%6d %s %-14s %-18s %-16s total=%-10s q=%-10s s=%-10s f=%-10s thr=%s\n",
+			c.Seq, c.HLC.String(), c.Node, c.Method, trace,
+			c.Total, c.Queue, c.Service, c.Flush, c.Threshold)
+	}
+}
+
+// WriteAllSlow writes every node's ledger under "# node <host>" headers —
+// the multi-node form served by itv-cluster's /debug/slow endpoint.
+func WriteAllSlow(w io.Writer) {
+	for _, h := range SlowHosts() {
+		fmt.Fprintf(w, "# node %s\n", h)
+		WriteSlowCalls(w, NodeSlowLedger(h).Calls())
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(L("ex_lat", "method", "test.m"))
+
+	// Unsampled observations leave no exemplar.
+	h.Observe(2 * time.Millisecond)
+	for i, ex := range h.Exemplars() {
+		if ex != nil {
+			t.Fatalf("bucket %d has exemplar after plain Observe", i)
+		}
+	}
+
+	// A sampled observation lands its exemplar in the bucket it falls in.
+	h.ObserveExemplar(2*time.Millisecond, &Exemplar{Trace: 0xabcd, HLC: 7,
+		Queue: time.Millisecond, Service: 900 * time.Microsecond, Flush: 100 * time.Microsecond})
+	var got *Exemplar
+	for _, ex := range h.Exemplars() {
+		if ex != nil {
+			if got != nil {
+				t.Fatal("exemplar in more than one bucket")
+			}
+			got = ex
+		}
+	}
+	if got == nil {
+		t.Fatal("no exemplar recorded")
+	}
+	if got.Trace != 0xabcd || got.Value != 2*time.Millisecond {
+		t.Fatalf("exemplar = %+v", got)
+	}
+
+	// A nil or unsampled exemplar argument still counts the observation.
+	h.ObserveExemplar(time.Millisecond, nil)
+	h.ObserveExemplar(time.Millisecond, &Exemplar{Trace: 0})
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+
+	// Last writer wins within a bucket.
+	h.ObserveExemplar(2*time.Millisecond, &Exemplar{Trace: 0xbeef})
+	for _, ex := range h.Exemplars() {
+		if ex != nil && ex.Trace != 0xbeef {
+			t.Fatalf("exemplar trace = %x, want beef", ex.Trace)
+		}
+	}
+}
+
+func TestExemplarTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(L("ex_rt_lat", "method", "test.rt"))
+	h.Observe(10 * time.Microsecond) // unsampled traffic in a low bucket
+	h.ObserveExemplar(40*time.Second, &Exemplar{Trace: 0x4a1f, HLC: 3,
+		Queue: time.Second, Service: 38 * time.Second, Flush: time.Second})
+
+	text := reg.Text()
+	if !strings.Contains(text, "ex_rt_lat_exemplar{") {
+		t.Fatalf("no exemplar row in text:\n%s", text)
+	}
+
+	samples := ParseText(text)
+	// Exemplar rows must not pollute quantile reassembly (they carry ub=,
+	// not le=).
+	sums := SummarizeHistograms(samples)
+	for _, s := range sums {
+		if strings.Contains(s.Name, "_exemplar") {
+			t.Fatalf("exemplar row summarized as histogram: %q", s.Name)
+		}
+		if s.Name == "ex_rt_lat{method=test.rt}" && s.Count != 2 {
+			t.Fatalf("count = %d, want 2", s.Count)
+		}
+	}
+
+	exes := ParseExemplars(samples)
+	ex, ok := TopExemplar(exes, "ex_rt_lat{method=test.rt}")
+	if !ok {
+		t.Fatalf("no exemplar parsed from:\n%s", text)
+	}
+	if ex.Trace != 0x4a1f {
+		t.Fatalf("trace = %x, want 4a1f", ex.Trace)
+	}
+	if !ex.Inf {
+		t.Fatalf("40s observation should land in +Inf, got bound %s", ex.Bound)
+	}
+	if ex.Queue != time.Second || ex.Service != 38*time.Second {
+		t.Fatalf("decomposition = q=%s s=%s f=%s", ex.Queue, ex.Service, ex.Flush)
+	}
+	if ex.Value != 40*time.Second {
+		t.Fatalf("value = %s, want 40s", ex.Value)
+	}
+}
+
+func TestTopExemplarPrefersHighestBucket(t *testing.T) {
+	refs := []ExemplarRef{
+		{Family: "f", Bound: time.Millisecond, Trace: 1},
+		{Family: "f", Inf: true, Trace: 2},
+		{Family: "f", Bound: time.Second, Trace: 3},
+		{Family: "other", Inf: true, Trace: 4},
+	}
+	ex, ok := TopExemplar(refs, "f")
+	if !ok || ex.Trace != 2 {
+		t.Fatalf("top = %+v ok=%v, want trace 2", ex, ok)
+	}
+}
+
+func TestSlowLedgerAdmission(t *testing.T) {
+	l := NewSlowLedger("n1", 4)
+
+	// A cold ledger admits on the floor: sub-floor calls never ledger.
+	if thr, slow := l.Note(100 * time.Microsecond); slow {
+		t.Fatalf("100µs admitted at threshold %s", thr)
+	}
+	thr, slow := l.Note(time.Millisecond)
+	if !slow || thr != DefaultSlowFloor {
+		t.Fatalf("1ms: slow=%v thr=%s, want admission at the floor", slow, thr)
+	}
+
+	// Sustained 10ms traffic drags the estimate up until 10ms is normal:
+	// the threshold self-scales and stops admitting it.
+	for i := 0; i < 1000; i++ {
+		l.Note(10 * time.Millisecond)
+	}
+	if est := l.Estimate(); est < 9*time.Millisecond {
+		t.Fatalf("estimate = %s after sustained 10ms traffic", est)
+	}
+	if thr, slow := l.Note(10 * time.Millisecond); slow {
+		t.Fatalf("10ms still admitted at threshold %s after adaptation", thr)
+	}
+	// But a 100ms outlier still is.
+	if _, slow := l.Note(100 * time.Millisecond); !slow {
+		t.Fatal("100ms outlier not admitted")
+	}
+}
+
+func TestSlowLedgerRing(t *testing.T) {
+	l := NewSlowLedger("n1", 4)
+	for i := 1; i <= 6; i++ {
+		l.Record(SlowCall{Method: fmt.Sprintf("m%d", i), Total: time.Duration(i) * time.Millisecond})
+	}
+	calls := l.Calls()
+	if len(calls) != 4 {
+		t.Fatalf("len = %d, want 4", len(calls))
+	}
+	for i, c := range calls {
+		wantSeq := uint64(i + 3) // 3,4,5,6 survive, oldest first
+		if c.Seq != wantSeq || c.Method != fmt.Sprintf("m%d", wantSeq) {
+			t.Fatalf("calls[%d] = seq %d method %q, want seq %d", i, c.Seq, c.Method, wantSeq)
+		}
+		if c.Node != "n1" {
+			t.Fatalf("node = %q", c.Node)
+		}
+	}
+}
+
+func TestRecorderEventsAfter(t *testing.T) {
+	rec := NewRecorder("pager-node", 4)
+	// Exactly ring-size events: the boundary where an off-by-one in the
+	// rotation or the cursor search would show.
+	for i := 1; i <= 4; i++ {
+		rec.Record(time.Unix(int64(i), 0), 0, "page_event", fmt.Sprintf("%d", i))
+	}
+	if got := rec.EventsAfter(0, 0); len(got) != 4 || got[0].Seq != 1 || got[3].Seq != 4 {
+		t.Fatalf("after 0 = %d events, first %d last %d", len(got), got[0].Seq, got[len(got)-1].Seq)
+	}
+	if got := rec.EventsAfter(4, 0); len(got) != 0 {
+		t.Fatalf("after last seq = %d events, want 0", len(got))
+	}
+	if got := rec.EventsAfter(2, 0); len(got) != 2 || got[0].Seq != 3 {
+		t.Fatalf("after 2 = %v", got)
+	}
+	if got := rec.EventsAfter(0, 2); len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("after 0 max 2 = %v", got)
+	}
+
+	// Push past capacity: the cursor detects the gap by the first Seq.
+	for i := 5; i <= 6; i++ {
+		rec.Record(time.Unix(int64(i), 0), 0, "page_event", fmt.Sprintf("%d", i))
+	}
+	got := rec.EventsAfter(1, 0)
+	if len(got) != 4 || got[0].Seq != 3 {
+		t.Fatalf("after wrap: %d events, first seq %d (want 4 starting at 3)", len(got), got[0].Seq)
+	}
+}
+
+func TestRecorderConcurrentWraparound(t *testing.T) {
+	const (
+		ring       = 64
+		writers    = 8
+		perWriter  = 100
+		totalSeq   = writers * perWriter
+		firstAlive = totalSeq - ring + 1
+	)
+	rec := NewRecorder("storm-node", ring)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec.Record(time.Unix(int64(i), 0), 0, "storm_event", fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	evs := rec.Events()
+	if len(evs) != ring {
+		t.Fatalf("ring holds %d events, want %d", len(evs), ring)
+	}
+	for i, e := range evs {
+		if i > 0 && e.Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap in ring: evs[%d].Seq=%d after %d", i, e.Seq, evs[i-1].Seq)
+		}
+		if e.Seq < firstAlive || e.Seq > totalSeq {
+			t.Fatalf("seq %d outside surviving window [%d,%d]", e.Seq, firstAlive, totalSeq)
+		}
+	}
+}
+
+func TestWriteSlowCalls(t *testing.T) {
+	var b strings.Builder
+	WriteSlowCalls(&b, []SlowCall{
+		{Seq: 1, Node: "forge", Method: "itv.MMS.open", Trace: 0x1234,
+			Total: 3 * time.Millisecond, Queue: time.Millisecond,
+			Service: 1500 * time.Microsecond, Flush: 500 * time.Microsecond,
+			Threshold: time.Millisecond},
+		{Seq: 2, Node: "forge", Method: "itv.NS.resolve",
+			Total: 2 * time.Millisecond, Threshold: time.Millisecond},
+	})
+	out := b.String()
+	if !strings.Contains(out, "0000000000001234") {
+		t.Errorf("trace id missing:\n%s", out)
+	}
+	if !strings.Contains(out, "itv.MMS.open") || !strings.Contains(out, "q=1ms") {
+		t.Errorf("decomposition missing:\n%s", out)
+	}
+	// Unsampled entries render a placeholder trace, not a zero.
+	if !strings.Contains(out, " -") {
+		t.Errorf("placeholder trace missing:\n%s", out)
+	}
+}

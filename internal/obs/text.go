@@ -130,3 +130,107 @@ func SummarizeHistograms(samples []Sample) []HistSummary {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
+
+// ExemplarRef is one parsed exemplar row from a metrics snapshot: the
+// histogram family it belongs to (named to match HistSummary.Name), the
+// bucket bound, the trace ID, the observed value, and the queue/service/
+// flush decomposition when the row carried one.
+type ExemplarRef struct {
+	Family  string
+	Bound   time.Duration // bucket upper bound; Inf true for the +Inf slot
+	Inf     bool
+	Trace   uint64
+	Value   time.Duration
+	Queue   time.Duration
+	Service time.Duration
+	Flush   time.Duration
+}
+
+// splitExemplar recognizes an exemplar row name (base ends in _exemplar and
+// labels carry ub= and trace=) and strips the exemplar-only parts so the
+// remaining family name matches the histogram it annotates.
+func splitExemplar(name string) (ref ExemplarRef, ok bool) {
+	i := strings.Index(name, "{")
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return ExemplarRef{}, false
+	}
+	base, found := strings.CutSuffix(name[:i], "_exemplar")
+	if !found {
+		return ExemplarRef{}, false
+	}
+	labels := strings.Split(name[i+1:len(name)-1], ",")
+	kept := labels[:0]
+	var ub, trace string
+	for _, l := range labels {
+		switch {
+		case strings.HasPrefix(l, "ub="):
+			ub = l[len("ub="):]
+		case strings.HasPrefix(l, "trace="):
+			trace = l[len("trace="):]
+		case strings.HasPrefix(l, "q="):
+			ref.Queue, _ = time.ParseDuration(l[len("q="):])
+		case strings.HasPrefix(l, "s="):
+			ref.Service, _ = time.ParseDuration(l[len("s="):])
+		case strings.HasPrefix(l, "f="):
+			ref.Flush, _ = time.ParseDuration(l[len("f="):])
+		default:
+			kept = append(kept, l)
+		}
+	}
+	if ub == "" || trace == "" {
+		return ExemplarRef{}, false
+	}
+	if ub == "+Inf" {
+		ref.Inf = true
+	} else {
+		d, err := time.ParseDuration(ub)
+		if err != nil {
+			return ExemplarRef{}, false
+		}
+		ref.Bound = d
+	}
+	t, err := strconv.ParseUint(trace, 16, 64)
+	if err != nil || t == 0 {
+		return ExemplarRef{}, false
+	}
+	ref.Trace = t
+	if len(kept) == 0 {
+		ref.Family = base
+	} else {
+		ref.Family = base + "{" + strings.Join(kept, ",") + "}"
+	}
+	return ref, true
+}
+
+// ParseExemplars extracts every exemplar row from a sample set.  The sample
+// value is the observed latency in milliseconds, as written by Snapshot.
+func ParseExemplars(samples []Sample) []ExemplarRef {
+	var out []ExemplarRef
+	for _, s := range samples {
+		ref, ok := splitExemplar(s.Name)
+		if !ok {
+			continue
+		}
+		ref.Value = time.Duration(s.Value * float64(time.Millisecond))
+		out = append(out, ref)
+	}
+	return out
+}
+
+// TopExemplar returns the highest-bucket exemplar recorded for a histogram
+// family — the worst sampled call still resident, which is the one an
+// operator chasing the p99 wants to click on.
+func TopExemplar(refs []ExemplarRef, family string) (ExemplarRef, bool) {
+	var best ExemplarRef
+	var found bool
+	for _, r := range refs {
+		if r.Family != family {
+			continue
+		}
+		if !found || (r.Inf && !best.Inf) || (r.Inf == best.Inf && r.Bound > best.Bound) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}

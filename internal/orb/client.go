@@ -344,7 +344,15 @@ func (e *Endpoint) InvokeCtx(ctx context.Context, ref oref.Ref, method string, p
 	err := e.invoke(ctx, ref, method, put, get)
 	d := time.Since(start)
 	ms := m.methodFor(ref.TypeID, method)
-	ms.lat.Observe(d)
+	if sp := obs.SpanFrom(ctx); sp.Sampled && sp.TraceID != 0 {
+		// Sampled calls publish a latency exemplar carrying their trace id,
+		// so the p99 row in a metrics scrape names a trace an operator can
+		// resolve to the cluster timeline.  The allocation lives on this
+		// branch only; the unsampled hot path keeps its plain Observe.
+		ms.lat.ObserveExemplar(d, &obs.Exemplar{Trace: sp.TraceID, HLC: e.hlc.Current()})
+	} else {
+		ms.lat.Observe(d)
+	}
 	if err != nil {
 		ms.errs.Inc()
 		if Dead(err) {
@@ -474,10 +482,16 @@ func (e *Endpoint) invokeLocal(ctx context.Context, ref oref.Ref, method string,
 		return e.metricsResult(get)
 	}
 	if method == "_events" {
-		return e.eventsResult(get)
+		return e.eventsResult(put, get)
 	}
 	if method == "_health" {
 		return e.healthResult(put, get)
+	}
+	if method == "_slow" {
+		return e.slowResult(get)
+	}
+	if method == "_profile" {
+		return e.profileResult(put, get)
 	}
 	if !ok || (ref.Incarnation != e.incarnation && ref.Incarnation != oref.AnyIncarnation) {
 		return ErrInvalidReference

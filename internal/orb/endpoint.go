@@ -146,6 +146,17 @@ type Endpoint struct {
 	metrics     *epMetrics
 	recorder    *obs.Recorder
 	hlc         *obs.HLC
+	ledger      *obs.SlowLedger
+
+	// diag bounds the concurrency of the diagnostic builtins (_health,
+	// _slow, _profile) so a misbehaving scraper cannot monopolize the
+	// dispatch workers; excess requests get a clean ExcBusy refusal.
+	diag diagGuard
+
+	// profBuf holds the most recently collected runtime profile between the
+	// chunked _profile reads that page it out.
+	profMu  sync.Mutex
+	profBuf []byte
 
 	mu      sync.Mutex
 	objects map[string]Skeleton
@@ -199,6 +210,7 @@ func newEndpoint(tr transport.Transport, ln net.Listener, addr string) *Endpoint
 		metrics:     newEpMetrics(tr.Host()),
 		recorder:    obs.NodeRecorder(tr.Host()),
 		hlc:         obs.NodeHLC(tr.Host()),
+		ledger:      obs.NodeSlowLedger(tr.Host()),
 		objects:     make(map[string]Skeleton),
 		conns:       make(map[string]*clientConn),
 		dialing:     make(map[string]*dialWait),
@@ -442,6 +454,9 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 			return
 		}
 		sr.buf = frame
+		// recvAt starts the queue-wait clock: everything between here and a
+		// worker's pickup is time the request spent waiting for dispatch.
+		sr.recvAt = time.Now()
 		sr.dec.Reset(frame)
 		sr.req.UnmarshalWire(&sr.dec)
 		// A version-mismatched request legitimately leaves its payload
@@ -497,15 +512,36 @@ func (srv *connServer) worker() {
 // the handoff, so the scratch (which the response body aliases) is free
 // for the worker's next request even while the frame waits on a flush.
 func (srv *connServer) handleOne(sr *serverReq, s *callScratch) {
+	pickup := time.Now()
 	srv.e.handleInto(&sr.req, srv.remote, s)
 	// Stamp the reply with this node's HLC — one site covers every response
 	// path, so the caller's clock couples to ours on every round trip.
 	s.resp.HLC = uint64(srv.e.hlc.Now())
+	done := time.Now()
 	fe, err := encodeFrame(&s.resp)
 	if err != nil {
 		srv.conn.Close() // an unframeable response severs the connection
 	} else {
-		srv.fw.send(fe)
+		qf := queuedFrame{fe: fe}
+		// Attach the latency decomposition for the flusher to record once
+		// the response frame is on the wire.  A version-mismatched request
+		// never decoded its method; it travels unattributed (zero meta).
+		if sr.req.Method != "" {
+			qf.meta = frameMeta{
+				sms:     srv.e.metrics.serverFor(sr.req.Method),
+				led:     srv.e.ledger,
+				rec:     srv.e.recorder,
+				hlc:     obs.HLCTime(s.resp.HLC),
+				trace:   sr.req.TraceID,
+				sampled: sr.req.Sampled,
+				method:  sr.req.Method,
+				peer:    srv.remote,
+				queue:   pickup.Sub(sr.recvAt),
+				service: done.Sub(pickup),
+				handoff: done,
+			}
+		}
+		srv.fw.sendFrame(qf)
 	}
 	srv.inflight.Add(-1)
 	putServerReq(sr)
@@ -578,10 +614,24 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 
 	// Built-in flight-recorder scrape: like _metrics, a node property that
 	// answers before incarnation and object-id validation — the whole point
-	// is reconstructing the story of nodes whose references died.
+	// is reconstructing the story of nodes whose references died.  Two
+	// optional uints in the body paginate: events with Seq > afterSeq, up to
+	// max of them (an empty body — the common full scrape — returns all).
 	if req.Method == "_events" {
+		afterSeq, maxEvents := uint64(0), 0
+		s.args.Reset(req.Body)
+		if n := s.args.Uint(); s.args.Err() == nil {
+			afterSeq = n
+			if mx := s.args.Uint(); s.args.Err() == nil {
+				maxEvents = int(mx)
+			}
+		}
 		s.results.Reset()
-		appendEvents(&s.results, e.recorder.Events())
+		if afterSeq == 0 && maxEvents == 0 {
+			appendEvents(&s.results, e.recorder.Events())
+		} else {
+			appendEvents(&s.results, e.recorder.EventsAfter(afterSeq, maxEvents))
+		}
 		resp.Status = statusOK
 		resp.Body = s.results.Bytes()
 		return
@@ -592,6 +642,10 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 	// reference validation (the watch dashboard inspects nodes it holds no
 	// reference to).  An optional uint in the body bounds the window count.
 	if req.Method == "_health" {
+		if !e.diag.acquire() {
+			respBusy(resp)
+			return
+		}
 		maxWindows := 0
 		s.args.Reset(req.Body)
 		if n := s.args.Uint(); s.args.Err() == nil {
@@ -599,6 +653,52 @@ func (e *Endpoint) handleInto(req *request, remoteAddr string, s *callScratch) {
 		}
 		s.results.Reset()
 		appendHealth(&s.results, e.healthReport(maxWindows))
+		e.diag.release()
+		resp.Status = statusOK
+		resp.Body = s.results.Bytes()
+		return
+	}
+
+	// Built-in slow-call ledger scrape: the node's tail estimate plus its
+	// ring of calls admitted past the adaptive threshold, each carrying the
+	// queue/service/flush decomposition.  A node property like the rest.
+	if req.Method == "_slow" {
+		if !e.diag.acquire() {
+			respBusy(resp)
+			return
+		}
+		s.results.Reset()
+		appendSlowCalls(&s.results, e.ledger)
+		e.diag.release()
+		resp.Status = statusOK
+		resp.Body = s.results.Bytes()
+		return
+	}
+
+	// Built-in on-demand profiling: collects a runtime/pprof profile and
+	// pages it back in bounded chunks (see profile.go for the wire form and
+	// the rate-reset discipline).
+	if req.Method == "_profile" {
+		if !e.diag.acquire() {
+			respBusy(resp)
+			return
+		}
+		s.args.Reset(req.Body)
+		total, chunk, perr := e.serveProfile(&s.args)
+		e.diag.release()
+		if perr != nil {
+			resp.Status = statusApp
+			var ae *AppError
+			if errors.As(perr, &ae) {
+				resp.ErrName, resp.ErrMsg = ae.Name, ae.Msg
+			} else {
+				resp.ErrName, resp.ErrMsg = "ServerError", perr.Error()
+			}
+			return
+		}
+		s.results.Reset()
+		s.results.PutUint(total)
+		s.results.PutBytes(chunk)
 		resp.Status = statusOK
 		resp.Body = s.results.Bytes()
 		return

@@ -43,6 +43,29 @@ func (e *ConnError) Error() string { return "orb: connection " + e.Op + ": " + e
 // Unwrap makes a ConnError match both ErrUnreachable and its real cause.
 func (e *ConnError) Unwrap() []error { return []error{ErrUnreachable, e.Err} }
 
+// ConnClass returns the coarse failure class of an error for operator
+// display: the ConnError operation ("dial", "read", "decode", "write",
+// "timeout") when one is present, otherwise a stable word for the known
+// sentinels.  itv-admin uses it to label UNREACHABLE rows instead of
+// dropping unreachable nodes from its output.
+func ConnClass(err error) string {
+	var ce *ConnError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &ce):
+		return ce.Op
+	case errors.Is(err, ErrShutdown):
+		return "shutdown"
+	case errors.Is(err, ErrInvalidReference):
+		return "invalid_ref"
+	case errors.Is(err, ErrUnreachable):
+		return "unreachable"
+	default:
+		return "error"
+	}
+}
+
 // errCallTimeout is the cause recorded when a round trip exceeds the
 // endpoint's call timeout.
 var errCallTimeout = errors.New("call timed out awaiting response")
@@ -107,4 +130,5 @@ const (
 	ExcDenied       = "Denied"       // authentication / authorization failure
 	ExcExhausted    = "Exhausted"    // resource admission failure (bandwidth, limits)
 	ExcUnavailable  = "Unavailable"  // service present but cannot serve (e.g. no master)
+	ExcBusy         = "Busy"         // diagnostic endpoint at its concurrency bound
 )

@@ -47,13 +47,31 @@ func decodeEvents(d *wire.Decoder) []obs.Event {
 	return out
 }
 
-// eventsResult serves the local short-circuit path of _events.
-func (e *Endpoint) eventsResult(get func(*wire.Decoder) error) error {
+// eventsResult serves the local short-circuit path of _events, honoring
+// the same optional (afterSeq, max) pagination args the remote path takes.
+func (e *Endpoint) eventsResult(put func(*wire.Encoder), get func(*wire.Decoder) error) error {
 	if get == nil {
 		return nil
 	}
+	afterSeq, maxEvents := uint64(0), 0
+	if put != nil {
+		pe := wire.GetEncoder()
+		put(pe)
+		pd := wire.NewDecoder(pe.Bytes())
+		if n := pd.Uint(); pd.Err() == nil {
+			afterSeq = n
+			if mx := pd.Uint(); pd.Err() == nil {
+				maxEvents = int(mx)
+			}
+		}
+		wire.PutEncoder(pe)
+	}
 	enc := wire.NewEncoder(256)
-	appendEvents(enc, e.recorder.Events())
+	if afterSeq == 0 && maxEvents == 0 {
+		appendEvents(enc, e.recorder.Events())
+	} else {
+		appendEvents(enc, e.recorder.EventsAfter(afterSeq, maxEvents))
+	}
 	d := wire.NewDecoder(enc.Bytes())
 	if err := get(d); err != nil {
 		return err
@@ -72,6 +90,23 @@ func (e *Endpoint) EventsOf(addr string) ([]obs.Event, error) {
 	ref := oref.Ref{Addr: addr, Incarnation: oref.AnyIncarnation, TypeID: "itv.Node"}
 	var out []obs.Event
 	err := e.Invoke(ref, "_events", nil, func(d *wire.Decoder) error {
+		out = decodeEvents(d)
+		return nil
+	})
+	return out, err
+}
+
+// EventsPageOf scrapes events with Seq > afterSeq (up to max of them; 0
+// means no limit) from the endpoint at addr — the paginated form of
+// EventsOf, letting a periodic scraper resume from its cursor instead of
+// re-reading the whole ring each pass.
+func (e *Endpoint) EventsPageOf(addr string, afterSeq uint64, max int) ([]obs.Event, error) {
+	ref := oref.Ref{Addr: addr, Incarnation: oref.AnyIncarnation, TypeID: "itv.Node"}
+	var out []obs.Event
+	err := e.Invoke(ref, "_events", func(enc *wire.Encoder) {
+		enc.PutUint(afterSeq)
+		enc.PutUint(uint64(max))
+	}, func(d *wire.Decoder) error {
 		out = decodeEvents(d)
 		return nil
 	})

@@ -1,9 +1,12 @@
 package orb
 
 import (
+	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"itv/internal/obs"
 	"itv/internal/wire"
 )
 
@@ -44,6 +47,32 @@ func encodeFrame(m wire.Marshaler) (*wire.Encoder, error) {
 	return e, nil
 }
 
+// frameMeta is the attribution a server response frame carries through the
+// write path: after the flush completes, the flusher observes the
+// queue/service/flush decomposition on sms, captures an exemplar for
+// sampled calls, and runs slow-ledger admission on the end-to-end total.
+// Client frames and error responses travel with the zero meta (sms nil)
+// and pay nothing beyond the struct copy.
+type frameMeta struct {
+	sms     *serverMethodStats
+	led     *obs.SlowLedger
+	rec     *obs.Recorder
+	hlc     obs.HLCTime
+	trace   uint64
+	sampled bool
+	method  string
+	peer    string
+	queue   time.Duration
+	service time.Duration
+	handoff time.Time // when the worker handed the frame to the writer
+}
+
+// queuedFrame is one frame awaiting flush plus its attribution.
+type queuedFrame struct {
+	fe   *wire.Encoder
+	meta frameMeta
+}
+
 // frameWriter serializes and coalesces frame writes on one connection.
 type frameWriter struct {
 	conn net.Conn
@@ -53,22 +82,27 @@ type frameWriter struct {
 	onErr func(error)
 
 	mu       sync.Mutex
-	q        []*wire.Encoder // frames awaiting flush; ownership held here
-	spare    []*wire.Encoder // recycled queue backing for the swap
+	q        []queuedFrame // frames awaiting flush; encoder ownership held here
+	spare    []queuedFrame // recycled queue backing for the swap
 	flushing bool
 	buf      []byte      // copy-coalesce scratch, reused across flushes
 	vecs     net.Buffers // vectored-flush scratch, reused across flushes
 }
 
-// send enqueues one encoded frame (taking ownership) and, if no flush is
-// in progress, becomes the flusher: it drains the queue — including
-// frames other senders append while it is writing — and only then
-// returns.  Write errors are routed to onErr; the remaining queue still
-// drains (releasing every frame) with writes failing fast on the now
-// dead connection.
+// send enqueues one encoded frame with no attribution — the client path.
 func (w *frameWriter) send(fe *wire.Encoder) {
+	w.sendFrame(queuedFrame{fe: fe})
+}
+
+// sendFrame enqueues one encoded frame (taking ownership of qf.fe) and, if
+// no flush is in progress, becomes the flusher: it drains the queue —
+// including frames other senders append while it is writing — and only
+// then returns.  Write errors are routed to onErr; the remaining queue
+// still drains (releasing every frame) with writes failing fast on the now
+// dead connection.
+func (w *frameWriter) sendFrame(qf queuedFrame) {
 	w.mu.Lock()
-	w.q = append(w.q, fe)
+	w.q = append(w.q, qf)
 	if w.flushing {
 		w.mu.Unlock()
 		return
@@ -81,9 +115,21 @@ func (w *frameWriter) send(fe *wire.Encoder) {
 		w.mu.Unlock()
 
 		err := w.writeBatch(batch)
-		for i, b := range batch {
-			wire.PutEncoder(b)
-			batch[i] = nil
+		// Attribution happens here, outside w.mu, so the observes and the
+		// (rare) ledger admission never extend the lock hold of concurrent
+		// senders.  One clock reading covers the whole batch: every frame in
+		// it left the wire at the same write return.
+		var now time.Time
+		for i := range batch {
+			b := &batch[i]
+			wire.PutEncoder(b.fe)
+			if b.meta.sms != nil {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				w.attribute(&b.meta, now)
+			}
+			*b = queuedFrame{}
 		}
 		if err != nil && w.onErr != nil {
 			w.onErr(err)
@@ -96,8 +142,56 @@ func (w *frameWriter) send(fe *wire.Encoder) {
 	w.mu.Unlock()
 }
 
+// attribute records one served call's decomposition after its response
+// frame was written.  Unsampled calls — the hot path — cost three
+// histogram observes and two ledger atomics, no allocation; sampled calls
+// additionally publish exemplars carrying the trace ID and the full
+// three-way split.
+func (w *frameWriter) attribute(m *frameMeta, now time.Time) {
+	flush := now.Sub(m.handoff)
+	if flush < 0 {
+		flush = 0
+	}
+	if m.sampled && m.trace != 0 {
+		m.sms.queue.ObserveExemplar(m.queue, &obs.Exemplar{Trace: m.trace, HLC: m.hlc,
+			Queue: m.queue, Service: m.service, Flush: flush})
+		m.sms.service.ObserveExemplar(m.service, &obs.Exemplar{Trace: m.trace, HLC: m.hlc,
+			Queue: m.queue, Service: m.service, Flush: flush})
+		m.sms.flush.ObserveExemplar(flush, &obs.Exemplar{Trace: m.trace, HLC: m.hlc,
+			Queue: m.queue, Service: m.service, Flush: flush})
+	} else {
+		m.sms.queue.Observe(m.queue)
+		m.sms.service.Observe(m.service)
+		m.sms.flush.Observe(flush)
+	}
+	if m.led == nil {
+		return
+	}
+	total := m.queue + m.service + flush
+	thr, slow := m.led.Note(total)
+	if !slow {
+		return
+	}
+	// Ledger admission: everything below runs only for calls already past
+	// the adaptive threshold, so formatting cost is off the hot path.
+	if w.m != nil {
+		w.m.slowAdmitted.Inc()
+	}
+	m.led.Record(obs.SlowCall{
+		Time: m.hlc.Physical(), HLC: m.hlc, Trace: m.trace,
+		Method: m.method, Peer: m.peer,
+		Total: total, Queue: m.queue, Service: m.service, Flush: flush,
+		Threshold: thr,
+	})
+	if m.rec != nil {
+		m.rec.Record(m.hlc.Physical(), m.trace, "slow_call_recorded",
+			fmt.Sprintf("%s peer=%s total=%s q=%s s=%s f=%s thr=%s",
+				m.method, m.peer, total, m.queue, m.service, flush, thr))
+	}
+}
+
 // writeBatch writes a drained batch in groups of at most maxBatchFrames.
-func (w *frameWriter) writeBatch(batch []*wire.Encoder) error {
+func (w *frameWriter) writeBatch(batch []queuedFrame) error {
 	for len(batch) > 0 {
 		n := len(batch)
 		if n > maxBatchFrames {
@@ -114,9 +208,9 @@ func (w *frameWriter) writeBatch(batch []*wire.Encoder) error {
 // writeGroup issues one group as a single write: direct for a lone frame
 // (the idle fast path), copy-coalesced below flushCopyLimit, vectored
 // above it.
-func (w *frameWriter) writeGroup(group []*wire.Encoder) error {
+func (w *frameWriter) writeGroup(group []queuedFrame) error {
 	if len(group) == 1 {
-		_, err := w.conn.Write(group[0].Bytes())
+		_, err := w.conn.Write(group[0].fe.Bytes())
 		return err
 	}
 	if w.m != nil {
@@ -124,20 +218,20 @@ func (w *frameWriter) writeGroup(group []*wire.Encoder) error {
 		w.m.batchedFrames.Add(int64(len(group)))
 	}
 	total := 0
-	for _, fe := range group {
-		total += fe.Len()
+	for _, qf := range group {
+		total += qf.fe.Len()
 	}
 	if total <= flushCopyLimit {
 		w.buf = w.buf[:0]
-		for _, fe := range group {
-			w.buf = append(w.buf, fe.Bytes()...)
+		for _, qf := range group {
+			w.buf = append(w.buf, qf.fe.Bytes()...)
 		}
 		_, err := w.conn.Write(w.buf)
 		return err
 	}
 	vecs := w.vecs[:0]
-	for _, fe := range group {
-		vecs = append(vecs, fe.Bytes())
+	for _, qf := range group {
+		vecs = append(vecs, qf.fe.Bytes())
 	}
 	w.vecs = vecs // keep the full-length view; WriteTo consumes the local one
 	_, err := (&vecs).WriteTo(w.conn)

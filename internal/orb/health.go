@@ -93,6 +93,10 @@ func (e *Endpoint) healthReport(maxWindows int) *obs.HealthReport {
 
 // healthResult serves the local short-circuit path of _health.
 func (e *Endpoint) healthResult(put func(*wire.Encoder), get func(*wire.Decoder) error) error {
+	if !e.diag.acquire() {
+		return Errf(ExcBusy, "diagnostic endpoint busy")
+	}
+	defer e.diag.release()
 	if get == nil {
 		return nil
 	}

@@ -38,6 +38,11 @@ type epMetrics struct {
 	invalidRefs *obs.Counter
 	inflight    *obs.Gauge
 
+	// Tail-latency attribution: admitted slow calls and on-demand profile
+	// collections are rare, but their counters make the machinery's own
+	// activity observable.
+	slowAdmitted *obs.Counter
+
 	// latency caches the per-method stats under a plain RWMutex-guarded
 	// map: a read-locked lookup with a struct key costs no allocation,
 	// where a sync.Map.Load boxed the key into an interface on every call —
@@ -45,6 +50,12 @@ type epMetrics struct {
 	// happens only on the first call per method.
 	latMu   sync.RWMutex
 	latency map[methodKey]*methodStats
+
+	// server caches the per-method queue/service/flush decomposition
+	// histograms, keyed by method name alone (the server side may not have
+	// resolved a type when timing starts; builtins have none).
+	srvMu  sync.RWMutex
+	server map[string]*serverMethodStats
 }
 
 type methodKey struct{ typeID, method string }
@@ -54,6 +65,19 @@ type methodKey struct{ typeID, method string }
 type methodStats struct {
 	lat  *obs.Histogram
 	errs *obs.Counter
+}
+
+// serverMethodStats decomposes one served method's latency into the three
+// places time can go on a server: the accept queue (read loop -> worker
+// pickup), the handler itself, and the response flush (encode -> write,
+// including any wait behind an in-flight coalesced write).  This is the
+// instrument that distinguishes saturation (queue dominates) from slow
+// handlers (service dominates) from a congested write path (flush
+// dominates).
+type serverMethodStats struct {
+	queue   *obs.Histogram
+	service *obs.Histogram
+	flush   *obs.Histogram
 }
 
 func newEpMetrics(host string) *epMetrics {
@@ -77,6 +101,7 @@ func newEpMetrics(host string) *epMetrics {
 		appErrors:      r.Counter("orb_server_app_errors"),
 		invalidRefs:    r.Counter("orb_server_invalid_refs"),
 		inflight:       r.Gauge("orb_server_inflight"),
+		slowAdmitted:   r.Counter("slow_call_admitted"),
 	}
 }
 
@@ -110,6 +135,34 @@ func (m *epMetrics) methodFor(typeID, method string) *methodStats {
 	}
 	m.latMu.Unlock()
 	return ms
+}
+
+// serverFor returns the per-method decomposition stats, creating and
+// caching them on first use.  Like methodFor, the fast path is a
+// read-locked map hit with zero allocations.
+func (m *epMetrics) serverFor(method string) *serverMethodStats {
+	m.srvMu.RLock()
+	ss := m.server[method]
+	m.srvMu.RUnlock()
+	if ss != nil {
+		return ss
+	}
+	ss = &serverMethodStats{
+		queue:   m.reg.HistogramBuckets(obs.L("orb_queue_wait", "method", method), obs.MicroLatencyBuckets),
+		service: m.reg.HistogramBuckets(obs.L("orb_service_time", "method", method), obs.MicroLatencyBuckets),
+		flush:   m.reg.HistogramBuckets(obs.L("orb_flush_wait", "method", method), obs.MicroLatencyBuckets),
+	}
+	m.srvMu.Lock()
+	if existing, ok := m.server[method]; ok {
+		ss = existing
+	} else {
+		if m.server == nil {
+			m.server = make(map[string]*serverMethodStats)
+		}
+		m.server[method] = ss
+	}
+	m.srvMu.Unlock()
+	return ss
 }
 
 // outcomeOf classifies an invocation result for traces and counters.

@@ -126,11 +126,14 @@ func putScratch(s *callScratch) {
 
 // serverReq couples a decoded request with the frame buffer it borrows
 // from, plus the decoder used on both.  The accept-side read loop fills it
-// and the dispatching worker releases it after the response is written.
+// (stamping recvAt when the frame arrives, the start of the queue-wait
+// decomposition) and the dispatching worker releases it after the response
+// is handed to the write path.
 type serverReq struct {
-	req request
-	dec wire.Decoder
-	buf []byte
+	req    request
+	dec    wire.Decoder
+	buf    []byte
+	recvAt time.Time
 }
 
 var serverReqPool = sync.Pool{New: func() any { return new(serverReq) }}
@@ -140,6 +143,7 @@ func getServerReq() *serverReq { return serverReqPool.Get().(*serverReq) }
 func putServerReq(sr *serverReq) {
 	sr.req.reset()
 	sr.dec.Reset(nil)
+	sr.recvAt = time.Time{}
 	if !wire.CapOK(cap(sr.buf)) {
 		sr.buf = nil
 	}
